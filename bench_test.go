@@ -1,0 +1,330 @@
+package edelab
+
+// One benchmark per paper table and figure (DESIGN.md §4's regeneration
+// targets), plus the ablation benches for the design decisions called out in
+// DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Table/Figure benches measure the cost of regenerating the artifact;
+// the reproduced values themselves are asserted by the test suite
+// (internal/testbed, internal/scan).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"net/netip"
+
+	"github.com/extended-dns-errors/edelab/internal/dnssec"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/errreport"
+	"github.com/extended-dns-errors/edelab/internal/forwarder"
+	"github.com/extended-dns-errors/edelab/internal/population"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/scan"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+	"github.com/extended-dns-errors/edelab/internal/zone"
+)
+
+// --- shared fixtures (built once; benches measure steady-state costs) ---
+
+var (
+	benchOnce sync.Once
+	benchTB   *testbed.Testbed
+	benchWild *population.Wild
+	benchRes  []scan.Result
+	benchErr  error
+)
+
+func fixtures(b *testing.B) (*testbed.Testbed, *population.Wild, []scan.Result) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchTB, benchErr = testbed.Build()
+		if benchErr != nil {
+			return
+		}
+		pop := population.Generate(population.Config{TotalDomains: 3030, Seed: 42})
+		benchWild, benchErr = population.Materialize(pop)
+		if benchErr != nil {
+			return
+		}
+		benchRes, _ = scan.WildScan(context.Background(), benchWild, resolver.ProfileCloudflare(), 16)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchTB, benchWild, benchRes
+}
+
+// BenchmarkTable1RegistryLookup measures EDE registry lookups (Table 1).
+func BenchmarkTable1RegistryLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		code := ede.Code(i % 30)
+		if _, ok := ede.Lookup(code); !ok {
+			b.Fatal("unregistered code")
+		}
+		_ = code.Category()
+	}
+}
+
+// BenchmarkTable2TestbedBuild measures constructing the full testbed: root,
+// com, the parent zone, and all 63 misconfigured subdomains (Tables 2–3),
+// including key generation and zone signing.
+func BenchmarkTable2TestbedBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := testbed.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4FullMatrix measures regenerating Table 4: resolving all 63
+// test cases through all seven vendor profiles with full DNSSEC validation.
+func BenchmarkTable4FullMatrix(b *testing.B) {
+	tb, _, _ := fixtures(b)
+	profiles := resolver.AllProfiles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := tb.RunAll(context.Background(), profiles)
+		if stats := m.Agreement(); stats.AgreeCases != 4 {
+			b.Fatalf("agreement drifted: %d", stats.AgreeCases)
+		}
+	}
+	b.ReportMetric(float64(63*7), "resolutions/op")
+}
+
+// BenchmarkSection42WildScan measures the §4.2 experiment end to end at
+// 1:100,000 scale: scanning the whole synthetic population through the
+// Cloudflare-profile resolver. Results are reported as resolutions/s.
+func BenchmarkSection42WildScan(b *testing.B) {
+	_, w, _ := fixtures(b)
+	names := make([]dnswire.Name, len(w.Pop.Domains))
+	for i, d := range w.Pop.Domains {
+		names[i] = d.Name
+	}
+	b.ResetTimer()
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		r := resolver.New(w.Net, w.Roots, w.Anchor, resolver.ProfileCloudflare())
+		r.Now = w.Now
+		s := scan.NewScanner(r)
+		start := time.Now()
+		s.Scan(context.Background(), names)
+		elapsed += time.Since(start)
+	}
+	b.ReportMetric(float64(len(names)*b.N)/elapsed.Seconds(), "resolutions/s")
+}
+
+// BenchmarkFigure1PerTLDAggregation measures regenerating Figure 1 from a
+// completed scan: the per-TLD join and both CDFs.
+func BenchmarkFigure1PerTLDAggregation(b *testing.B) {
+	_, w, results := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := scan.PerTLD(results, w.Pop)
+		g, cc := scan.Figure1(rows)
+		if len(g) == 0 || len(cc) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure2TrancoJoin measures regenerating Figure 2: joining scan
+// results with the popularity ranking.
+func BenchmarkFigure2TrancoJoin(b *testing.B) {
+	_, w, results := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := scan.Figure2(results, w.Pop)
+		if stats.Overlap == 0 {
+			b.Fatal("empty overlap")
+		}
+	}
+}
+
+// BenchmarkScannerThroughput measures single resolutions against the wild
+// network — the per-domain cost underlying the §5 scan-rate discussion.
+func BenchmarkScannerThroughput(b *testing.B) {
+	_, w, _ := fixtures(b)
+	r := resolver.New(w.Net, w.Roots, w.Anchor, resolver.ProfileCloudflare())
+	r.Now = w.Now
+	domains := w.Pop.Domains
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := domains[i%len(domains)]
+		r.Resolve(context.Background(), d.Name, dnswire.TypeA)
+	}
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationNameCompression compares packing a referral-sized message
+// with and without RFC 1035 name compression, reporting the size delta.
+func BenchmarkAblationNameCompression(b *testing.B) {
+	msg := dnswire.NewQuery(1, dnswire.MustName("a.very.long.subdomain.extended-dns-errors.com"), dnswire.TypeA)
+	msg.Response = true
+	for i := 0; i < 8; i++ {
+		host := dnswire.MustName("ns1.a.very.long.subdomain.extended-dns-errors.com")
+		msg.Authority = append(msg.Authority, dnswire.RR{
+			Name:  dnswire.MustName("a.very.long.subdomain.extended-dns-errors.com"),
+			Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: host},
+		})
+	}
+	compressed, _ := msg.Pack()
+	plain, _ := msg.PackNoCompress()
+
+	b.Run("compressed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := msg.Pack(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(compressed)), "bytes/msg")
+	})
+	b.Run("uncompressed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := msg.PackNoCompress(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(plain)), "bytes/msg")
+	})
+}
+
+// BenchmarkAblationCache compares cold resolutions (fresh resolver, full
+// referral chain + validation every time) against warm ones (RRset + zone
+// key cache hits).
+func BenchmarkAblationCache(b *testing.B) {
+	tb, _, _ := fixtures(b)
+	var valid testbed.Case
+	for _, c := range tb.Cases {
+		if c.Label == "valid" {
+			valid = c
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := tb.NewResolver(resolver.ProfileCloudflare())
+			tb.RunCase(context.Background(), r, valid)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		r := tb.NewResolver(resolver.ProfileCloudflare())
+		tb.RunCase(context.Background(), r, valid)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.RunCase(context.Background(), r, valid)
+		}
+	})
+}
+
+// BenchmarkAblationProfileIndirection measures the condition→EDE mapping
+// layer in isolation: the cost of the vendor-profile indirection that lets
+// one engine reproduce seven systems.
+func BenchmarkAblationProfileIndirection(b *testing.B) {
+	p := resolver.ProfileCloudflare()
+	conds := []resolver.Condition{
+		resolver.ConditionDNSKEYUnobtainable,
+		resolver.ConditionUnreachableRefused,
+		resolver.ConditionStandbyKSKUnsigned,
+	}
+	for i := 0; i < b.N; i++ {
+		if set := p.Codes(conds); len(set) == 0 {
+			b.Fatal("empty mapping")
+		}
+	}
+}
+
+// BenchmarkAblationLazyZones measures the lazy wild-referral synthesis (TLD
+// servers signing DS/denial material per query) versus a cached repeat of
+// the same query, quantifying what zone pre-materialization would save.
+func BenchmarkAblationLazyZones(b *testing.B) {
+	_, w, _ := fixtures(b)
+	var signed *population.Domain
+	for _, d := range w.Pop.Domains {
+		if d.Keys != nil {
+			signed = d
+			break
+		}
+	}
+	if signed == nil {
+		b.Skip("no signed wild domain")
+	}
+	q := dnswire.NewQuery(1, signed.Name, dnswire.TypeA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Net.Query(context.Background(), signed.TLD.Addr, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwarderOverhead measures the EDE-forwarding hop in isolation.
+func BenchmarkForwarderOverhead(b *testing.B) {
+	tb, _, _ := fixtures(b)
+	r := tb.NewResolver(resolver.ProfileCloudflare())
+	f := forwarder.New(forwarder.ResolverUpstream{R: r})
+	q := dnswire.NewQuery(1, testbed.ParentZone.Child("valid"), dnswire.TypeA)
+	// Warm the resolver cache so the bench isolates the forwarding layer.
+	if _, err := f.HandleDNS(context.Background(), q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.HandleDNS(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkErrorReportRoundTrip measures one RFC 9567 report: QNAME
+// encoding, the TXT exchange, and the agent's bookkeeping.
+func BenchmarkErrorReportRoundTrip(b *testing.B) {
+	_, w, _ := fixtures(b)
+	agent := errreport.NewAgent(dnswire.MustName("agent.monitoring.example"))
+	addr := netip.MustParseAddr("198.18.60.1")
+	w.Net.Register(addr, agent)
+	rep := &errreport.Reporter{Net: w.Net, Agent: agent.Domain, AgentAddr: addr}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.ReportFailure(context.Background(),
+			dnswire.MustName("broken.example.com"), dnswire.TypeA, 22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDenialFlavour compares signing cost with NSEC3 (hashed
+// chain) against plain NSEC (canonical-order chain) for the same zone shape.
+func BenchmarkAblationDenialFlavour(b *testing.B) {
+	build := func(nsec bool) {
+		z := zone.New(dnswire.MustName("bench.example"), 300)
+		z.AddNS(dnswire.MustName("ns1.bench.example"), netip.MustParseAddr("198.18.70.1"))
+		for i := 0; i < 50; i++ {
+			z.AddAddress(dnswire.MustName(fmt.Sprintf("h%02d.bench.example", i)),
+				netip.MustParseAddr("203.0.113.8"))
+		}
+		if err := z.Sign(zone.SignOptions{
+			Algorithm: dnssec.AlgED25519,
+			Inception: 1700000000, Expiration: 1800000000,
+			DenialNSEC: nsec,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("nsec3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			build(false)
+		}
+	})
+	b.Run("nsec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			build(true)
+		}
+	})
+}

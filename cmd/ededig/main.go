@@ -1,0 +1,113 @@
+// Command ededig is a dig-like DNS client that understands RFC 8914: it
+// sends an EDNS query with DO set, prints the response, decodes every
+// Extended DNS Error option against the registry, and runs the
+// troubleshooting engine over the result.
+//
+// Usage:
+//
+//	ededig -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
+//	ededig -server 127.0.0.1:5353 -type AAAA valid.extended-dns-errors.com
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5353", "DNS server address")
+	qtypeName := flag.String("type", "A", "query type (A, AAAA, NS, SOA, TXT, DS, DNSKEY, NSEC3PARAM)")
+	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
+	noDO := flag.Bool("cd-only", false, "clear the DO bit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ededig [flags] <name>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	name, err := dnswire.NewName(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ededig: bad name: %v\n", err)
+		os.Exit(2)
+	}
+	qtype, ok := parseType(*qtypeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ededig: unknown type %q\n", *qtypeName)
+		os.Exit(2)
+	}
+
+	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), name, qtype)
+	if *noDO {
+		q.OPT.DO = false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := authserver.QueryUDP(ctx, *server, q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ededig: query failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(resp.String())
+
+	edes := resp.EDEs()
+	if len(edes) == 0 {
+		fmt.Println(";; no Extended DNS Errors")
+	} else {
+		fmt.Println(";; EXTENDED DNS ERRORS:")
+		for _, e := range edes {
+			info, _ := ede.Lookup(ede.Code(e.InfoCode))
+			line := fmt.Sprintf(";;   %d (%s) [%s]", e.InfoCode, ede.Code(e.InfoCode).Name(), info.Category)
+			if e.ExtraText != "" {
+				line += fmt.Sprintf(": %q", e.ExtraText)
+			}
+			fmt.Println(line)
+		}
+	}
+
+	d := ede.Diagnose(ede.Observe(resp))
+	fmt.Println(";; DIAGNOSIS:")
+	fmt.Printf(";;   severity:    %s\n", d.Severity)
+	fmt.Printf(";;   root cause:  %s\n", d.RootCause)
+	fmt.Printf(";;   party:       %s\n", d.Party)
+	fmt.Printf(";;   remediation: %s\n", d.Remediation)
+}
+
+func parseType(s string) (dnswire.Type, bool) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return dnswire.TypeA, true
+	case "AAAA":
+		return dnswire.TypeAAAA, true
+	case "NS":
+		return dnswire.TypeNS, true
+	case "SOA":
+		return dnswire.TypeSOA, true
+	case "CNAME":
+		return dnswire.TypeCNAME, true
+	case "MX":
+		return dnswire.TypeMX, true
+	case "TXT":
+		return dnswire.TypeTXT, true
+	case "DS":
+		return dnswire.TypeDS, true
+	case "DNSKEY":
+		return dnswire.TypeDNSKEY, true
+	case "NSEC":
+		return dnswire.TypeNSEC, true
+	case "NSEC3":
+		return dnswire.TypeNSEC3, true
+	case "NSEC3PARAM":
+		return dnswire.TypeNSEC3PARAM, true
+	}
+	return 0, false
+}

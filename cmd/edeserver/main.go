@@ -1,0 +1,152 @@
+// Command edeserver serves the paper's testbed zones over real UDP. Point
+// any EDE-aware client (cmd/ededig, dig +ednsopt, kdig) at it to see the
+// misconfigured zones on the wire.
+//
+// It serves the root, com, extended-dns-errors.com, and all 63 subdomain
+// zones from a single socket, answering authoritatively for whichever zone
+// matches the query — a consolidated stand-in for the testbed's simulated
+// server fleet, useful for wire-level inspection.
+//
+// With -mode resolver the socket instead fronts a validating recursive
+// resolver (Cloudflare profile) over the same testbed, so clients receive
+// the Extended DNS Errors themselves:
+//
+//	edeserver -addr 127.0.0.1:5353 -mode resolver &
+//	ededig -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5353", "UDP listen address")
+	mode := flag.String("mode", "auth", "auth: serve the zones authoritatively; resolver: front a validating recursive resolver with EDE")
+	profileName := flag.String("profile", "cloudflare", "vendor profile for -mode resolver")
+	flag.Parse()
+
+	tb, err := testbed.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
+		os.Exit(1)
+	}
+
+	conn, err := net.ListenPacket("udp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving the extended-dns-errors.com testbed on %s (mode %s)\n", conn.LocalAddr(), *mode)
+	fmt.Printf("zones: root, com, %s and %d test subdomains\n", testbed.ParentZone, len(tb.Cases))
+
+	if *mode == "resolver" {
+		prof := resolverProfile(*profileName)
+		res := tb.NewResolver(prof)
+		front := netsim.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			if len(q.Question) == 0 {
+				r := q.Reply()
+				r.RCode = dnswire.RCodeFormErr
+				return r, nil
+			}
+			out := res.Resolve(ctx, q.Question[0].Name, q.Question[0].Type).Msg
+			out.ID = q.ID
+			return out, nil
+		})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := authserver.ServeUDP(ctx, conn, front); err != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Front the whole simulated network through one socket: route each
+	// query to the simulated endpoint that would be authoritative for it.
+	front := netsim.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		if len(q.Question) == 0 {
+			r := q.Reply()
+			r.RCode = dnswire.RCodeFormErr
+			return r, nil
+		}
+		// Walk the simulated resolution from the root to find the deepest
+		// server that answers authoritatively (or with a referral we can
+		// follow).
+		servers := tb.Roots
+		for depth := 0; depth < 10; depth++ {
+			resp, next, done := step(ctx, tb, servers, q)
+			if done {
+				return resp, nil
+			}
+			servers = next
+		}
+		r := q.Reply()
+		r.RCode = dnswire.RCodeServFail
+		return r, nil
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := authserver.ServeUDP(ctx, conn, front); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// resolverProfile maps a CLI name to a vendor profile (Cloudflare default).
+func resolverProfile(name string) *resolver.Profile {
+	for _, p := range resolver.AllProfiles() {
+		if strings.Contains(strings.ToLower(p.Name), strings.ToLower(name)) {
+			return p
+		}
+	}
+	return resolver.ProfileCloudflare()
+}
+
+// step queries the candidate servers; a referral yields the next server
+// set, anything else is final.
+func step(ctx context.Context, tb *testbed.Testbed, servers []netip.Addr, q *dnswire.Message) (*dnswire.Message, []netip.Addr, bool) {
+	for _, srv := range servers {
+		resp, err := tb.Net.Query(ctx, srv, q)
+		if err != nil {
+			continue
+		}
+		if len(resp.Answer) == 0 && resp.RCode == dnswire.RCodeNoError {
+			var next []netip.Addr
+			for _, rr := range resp.Additional {
+				switch d := rr.Data.(type) {
+				case dnswire.A:
+					next = append(next, d.Addr)
+				case dnswire.AAAA:
+					next = append(next, d.Addr)
+				}
+			}
+			hasNS := false
+			for _, rr := range resp.Authority {
+				if rr.Type() == dnswire.TypeNS {
+					hasNS = true
+				}
+			}
+			if hasNS && len(next) > 0 {
+				return nil, next, false
+			}
+		}
+		return resp, nil, true
+	}
+	r := q.Reply()
+	r.RCode = dnswire.RCodeServFail
+	return r, nil, true
+}

@@ -1,0 +1,15 @@
+// Package edelab is a from-scratch Go reproduction of "Extended DNS Errors:
+// Unlocking the Full Potential of DNS Troubleshooting" (Nosyk, Korczyński,
+// Duda — ACM IMC 2023).
+//
+// The implementation lives under internal/: the DNS wire codec (dnswire),
+// DNSSEC (dnssec), the simulated network (netsim), authoritative zones and
+// servers (zone, authserver), the validating resolver with vendor EDE
+// profiles (resolver), the RFC 8914 registry and troubleshooting engine
+// (ede), the 63-domain testbed of Section 3 (testbed), and the synthetic
+// Internet-wide scan of Section 4 (population, scan, report).
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for measured-vs-paper results. The root-level benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation.
+package edelab

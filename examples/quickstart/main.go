@@ -1,0 +1,61 @@
+// Quickstart: build and parse Extended DNS Errors at the wire level, and
+// look codes up in the RFC 8914 registry (the paper's Table 1).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+)
+
+func main() {
+	// A resolver composes a SERVFAIL response and attaches extended errors
+	// explaining *why* — the whole point of RFC 8914.
+	resp := dnswire.NewQuery(4711, dnswire.MustName("broken.example.com"), dnswire.TypeA)
+	resp.Response = true
+	resp.RCode = dnswire.RCodeServFail
+	resp.AddEDE(uint16(ede.CodeDNSKEYMissing), "no SEP matching the DS found for broken.example.com.")
+	resp.AddEDE(uint16(ede.CodeNetworkError), "192.0.2.53:53 rcode=REFUSED for broken.example.com A")
+
+	// Over the wire and back.
+	wire, err := resp.Pack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packed response: %d bytes\n\n", len(wire))
+
+	parsed, err := dnswire.Unpack(wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A troubleshooting client reads the codes back.
+	fmt.Printf("status: %s\n", parsed.RCode)
+	for _, opt := range parsed.EDEs() {
+		code := ede.Code(opt.InfoCode)
+		info, _ := ede.Lookup(code)
+		fmt.Printf("  EDE %2d %-28s category=%s retriable=%t\n",
+			opt.InfoCode, code.Name(), info.Category, info.Retriable)
+		if opt.ExtraText != "" {
+			fmt.Printf("         extra: %q\n", opt.ExtraText)
+		}
+	}
+
+	// And turns them into a diagnosis.
+	d := ede.Diagnose(ede.Observe(parsed))
+	fmt.Printf("\ndiagnosis: %s\n", d.RootCause)
+	fmt.Printf("party:     %s\n", d.Party)
+	fmt.Printf("fix:       %s\n", d.Remediation)
+
+	// The full Table 1 registry is available programmatically.
+	fmt.Printf("\nregistry has %d codes; DNSSEC-related ones:\n", len(ede.All()))
+	for _, info := range ede.All() {
+		if info.Category == ede.CategoryDNSSEC {
+			fmt.Printf("  %2d %s\n", info.Code, info.Name)
+		}
+	}
+}

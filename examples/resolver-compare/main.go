@@ -1,0 +1,69 @@
+// Resolver-compare: resolve the same misconfigured domains through all
+// seven vendor profiles and show the Table 4 disagreement up close — the
+// paper's core §3.3 finding that implementations agree on *whether*
+// something is wrong but not on *which code to say it with*.
+//
+// Run with: go run ./examples/resolver-compare
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/report"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+func main() {
+	tb, err := testbed.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	profiles := resolver.AllProfiles()
+
+	// A few cases that show the spectrum of disagreement.
+	showcase := map[string]bool{
+		"ds-bad-tag": true, "rrsig-exp-all": true, "rrsig-exp-before-all": true,
+		"nsec3-rrsig-missing": true, "no-dnskey-256-257": true, "allow-query-none": true,
+	}
+
+	fmt.Printf("%-22s", "case")
+	for _, p := range profiles {
+		fmt.Printf(" %-10s", shortName(p.Name))
+	}
+	fmt.Println()
+
+	for _, c := range tb.Cases {
+		if !showcase[c.Label] {
+			continue
+		}
+		fmt.Printf("%-22s", c.Label)
+		for _, p := range profiles {
+			r := tb.NewResolver(p)
+			res := tb.RunCase(ctx, r, c)
+			var set ede.Set
+			for _, code := range res.Codes() {
+				set = append(set, ede.Code(code))
+			}
+			fmt.Printf(" %-10s", set)
+		}
+		fmt.Println()
+	}
+
+	// The full matrix and the headline statistics.
+	fmt.Println("\nrunning all 63 cases × 7 systems for the aggregate view ...")
+	m := tb.RunAll(ctx, profiles)
+	fmt.Println()
+	fmt.Print(report.AgreementSummary(m.Agreement()))
+}
+
+func shortName(s string) string {
+	if len(s) > 10 {
+		return s[:10]
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module github.com/extended-dns-errors/edelab
+
+go 1.23

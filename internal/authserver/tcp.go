@@ -1,0 +1,210 @@
+package authserver
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/zone"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2): each message is prefixed with a two-octet
+// length. TCP is the fallback clients take when a UDP response arrives
+// truncated, and the only transport for zone transfers (AXFR) — the channel
+// through which the paper obtained the .se/.nu/.ch/.li TLD zones (§4.1).
+
+// writeTCPMessage frames and writes one message.
+func writeTCPMessage(w io.Writer, m *dnswire.Message) error {
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	if len(wire) > 0xFFFF {
+		return fmt.Errorf("authserver: message exceeds TCP frame limit (%d bytes)", len(wire))
+	}
+	var length [2]byte
+	binary.BigEndian.PutUint16(length[:], uint16(len(wire)))
+	if _, err := w.Write(length[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// readTCPMessage reads one framed message.
+func readTCPMessage(r io.Reader) (*dnswire.Message, error) {
+	var length [2]byte
+	if _, err := io.ReadFull(r, length[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(length[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(buf)
+}
+
+// ServeTCP answers framed DNS queries on l with handler h until ctx is
+// cancelled. AXFR queries are answered from the server's zones when h wraps
+// a *Server; other handlers get plain query semantics.
+func ServeTCP(ctx context.Context, l net.Listener, h netsim.Handler) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+		case <-done:
+		}
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return ctx.Err()
+			}
+			return err
+		}
+		go serveTCPConn(ctx, conn, h)
+	}
+}
+
+func serveTCPConn(ctx context.Context, conn net.Conn, h netsim.Handler) {
+	defer conn.Close()
+	for {
+		query, err := readTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		if srv, ok := h.(*Server); ok && len(query.Question) == 1 &&
+			query.Question[0].Type == dnswire.TypeAXFR {
+			if err := srv.serveAXFR(conn, query); err != nil {
+				return
+			}
+			continue
+		}
+		resp, err := h.HandleDNS(ctx, query)
+		if err != nil || resp == nil {
+			return
+		}
+		if err := writeTCPMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// serveAXFR streams the zone for an AXFR query (RFC 5936): the SOA, every
+// record, and the SOA again. One message is used when it fits.
+func (s *Server) serveAXFR(conn net.Conn, q *dnswire.Message) error {
+	question := q.Question[0]
+	resp := q.Reply()
+	z := s.zoneFor(question.Name)
+	if z == nil || z.Origin != question.Name || s.ACL != ACLAllowAll {
+		resp.RCode = dnswire.RCodeRefused
+		return writeTCPMessage(conn, resp)
+	}
+	records := TransferRecords(z)
+	if len(records) == 0 {
+		resp.RCode = dnswire.RCodeServFail
+		return writeTCPMessage(conn, resp)
+	}
+	resp.Authoritative = true
+	resp.Answer = records
+	return writeTCPMessage(conn, resp)
+}
+
+// TransferRecords assembles a zone's AXFR stream: SOA first, every RRset and
+// its signatures, SOA again.
+func TransferRecords(z *zone.Zone) []dnswire.RR {
+	soa, ok := z.SOA()
+	if !ok {
+		return nil
+	}
+	out := []dnswire.RR{soa}
+	for _, name := range z.Names() {
+		for _, t := range allTypesAt(z, name) {
+			if name == z.Origin && t == dnswire.TypeSOA {
+				for _, sig := range z.Sigs(name, t) {
+					out = append(out, sig)
+				}
+				continue
+			}
+			out = append(out, z.RRset(name, t)...)
+			out = append(out, z.Sigs(name, t)...)
+		}
+	}
+	return append(out, soa)
+}
+
+func allTypesAt(z *zone.Zone, name dnswire.Name) []dnswire.Type {
+	candidates := []dnswire.Type{
+		dnswire.TypeSOA, dnswire.TypeNS, dnswire.TypeA, dnswire.TypeAAAA,
+		dnswire.TypeCNAME, dnswire.TypeMX, dnswire.TypeTXT, dnswire.TypePTR,
+		dnswire.TypeDS, dnswire.TypeDNSKEY, dnswire.TypeNSEC,
+		dnswire.TypeNSEC3, dnswire.TypeNSEC3PARAM,
+	}
+	var out []dnswire.Type
+	for _, t := range candidates {
+		if len(z.RRset(name, t)) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// QueryTCP performs one framed exchange over TCP, the truncation fallback
+// of RFC 7766.
+func QueryTCP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeTCPMessage(conn, q); err != nil {
+		return nil, err
+	}
+	return readTCPMessage(conn)
+}
+
+// QueryWithFallback queries over UDP and retries over TCP when the response
+// arrives truncated — the standard client behaviour that makes large signed
+// responses usable.
+func QueryWithFallback(ctx context.Context, udpAddr, tcpAddr string, q *dnswire.Message) (*dnswire.Message, error) {
+	resp, err := QueryUDP(ctx, udpAddr, q)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Truncated {
+		return resp, nil
+	}
+	return QueryTCP(ctx, tcpAddr, q)
+}
+
+// AXFR performs a zone transfer from addr and returns the record stream
+// (SOA-delimited, as received).
+func AXFR(ctx context.Context, addr string, zoneName dnswire.Name) ([]dnswire.RR, error) {
+	q := &dnswire.Message{
+		ID:       1,
+		Opcode:   dnswire.OpcodeQuery,
+		Question: []dnswire.Question{{Name: zoneName, Type: dnswire.TypeAXFR, Class: dnswire.ClassIN}},
+	}
+	resp, err := QueryTCP(ctx, addr, q)
+	if err != nil {
+		return nil, err
+	}
+	if resp.RCode != dnswire.RCodeNoError {
+		return nil, fmt.Errorf("authserver: AXFR refused: %s", resp.RCode)
+	}
+	return resp.Answer, nil
+}

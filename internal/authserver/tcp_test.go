@@ -1,0 +1,152 @@
+package authserver
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+func startTCP(t *testing.T, srv *Server) (string, context.CancelFunc) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { _ = ServeTCP(ctx, l, srv) }()
+	return l.Addr().String(), cancel
+}
+
+func TestQueryTCP(t *testing.T) {
+	addr, cancel := startTCP(t, New(testZone(t)))
+	defer cancel()
+	ctx, qcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer qcancel()
+	q := dnswire.NewQuery(21, dnswire.MustName("www.example.test"), dnswire.TypeA)
+	resp, err := QueryTCP(ctx, addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 21 || len(resp.Answer) == 0 {
+		t.Errorf("id=%d answers=%d", resp.ID, len(resp.Answer))
+	}
+}
+
+func TestTruncationFallbackToTCP(t *testing.T) {
+	z := testZone(t)
+	name := dnswire.MustName("big.example.test")
+	var rrs []dnswire.RR
+	for i := 0; i < 40; i++ {
+		rrs = append(rrs, dnswire.RR{Name: name, Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.TXT{Strings: []string{string(make([]byte, 80))}}})
+	}
+	z.SetRRset(name, dnswire.TypeTXT, rrs)
+	srv := New(z)
+
+	udpConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = ServeUDP(ctx, udpConn, srv) }()
+	tcpAddr, tcpCancel := startTCP(t, srv)
+	defer tcpCancel()
+
+	qctx, qcancel := context.WithTimeout(ctx, 2*time.Second)
+	defer qcancel()
+	q := dnswire.NewQuery(22, name, dnswire.TypeTXT)
+	q.OPT.UDPSize = 512
+	resp, err := QueryWithFallback(qctx, udpConn.LocalAddr().String(), tcpAddr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Error("fallback response still truncated")
+	}
+	if len(resp.Answer) != 40 {
+		t.Errorf("answers = %d, want 40 over TCP", len(resp.Answer))
+	}
+}
+
+func TestAXFRTransfersWholeZone(t *testing.T) {
+	z := testZone(t)
+	addr, cancel := startTCP(t, New(z))
+	defer cancel()
+	ctx, qcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer qcancel()
+
+	records, err := AXFR(ctx, addr, dnswire.MustName("example.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 4 {
+		t.Fatalf("transfer returned %d records", len(records))
+	}
+	// RFC 5936: SOA first and last.
+	if records[0].Type() != dnswire.TypeSOA || records[len(records)-1].Type() != dnswire.TypeSOA {
+		t.Errorf("stream not SOA-delimited: first=%s last=%s",
+			records[0].Type(), records[len(records)-1].Type())
+	}
+	// Signed zone: the stream carries DNSKEY, RRSIG, and NSEC3 records.
+	seen := map[dnswire.Type]bool{}
+	for _, rr := range records {
+		seen[rr.Type()] = true
+	}
+	for _, want := range []dnswire.Type{dnswire.TypeDNSKEY, dnswire.TypeRRSIG, dnswire.TypeNSEC3, dnswire.TypeA} {
+		if !seen[want] {
+			t.Errorf("transfer missing %s records", want)
+		}
+	}
+}
+
+func TestAXFRRefusedForForeignZone(t *testing.T) {
+	addr, cancel := startTCP(t, New(testZone(t)))
+	defer cancel()
+	ctx, qcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer qcancel()
+	if _, err := AXFR(ctx, addr, dnswire.MustName("other.zone")); err == nil {
+		t.Error("AXFR for a foreign zone succeeded")
+	}
+}
+
+func TestAXFRRefusedUnderACL(t *testing.T) {
+	srv := New(testZone(t))
+	srv.ACL = ACLRefuseAll
+	addr, cancel := startTCP(t, srv)
+	defer cancel()
+	ctx, qcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer qcancel()
+	if _, err := AXFR(ctx, addr, dnswire.MustName("example.test")); err == nil {
+		t.Error("AXFR succeeded despite ACL")
+	}
+}
+
+func TestTCPMultipleQueriesPerConnection(t *testing.T) {
+	addr, cancel := startTCP(t, New(testZone(t)))
+	defer cancel()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		q := dnswire.NewQuery(uint16(30+i), dnswire.MustName("example.test"), dnswire.TypeA)
+		if err := writeTCPMessage(conn, q); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := readTCPMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != uint16(30+i) {
+			t.Errorf("response %d has id %d", i, resp.ID)
+		}
+	}
+}

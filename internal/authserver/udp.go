@@ -1,0 +1,98 @@
+package authserver
+
+import (
+	"context"
+	"errors"
+	"net"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+)
+
+// ServeUDP answers DNS queries arriving on conn with handler h until ctx is
+// cancelled or conn fails. Responses larger than the client's advertised
+// EDNS buffer (or 512 bytes without EDNS) are truncated with TC set.
+//
+// This is the real-network front end used by cmd/edeserver and the live-udp
+// example; the simulation path uses netsim directly.
+func ServeUDP(ctx context.Context, conn net.PacketConn, h netsim.Handler) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	buf := make([]byte, 65535)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return ctx.Err()
+			}
+			return err
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue // unparseable datagram: drop, like real servers
+		}
+		resp, err := h.HandleDNS(ctx, query)
+		if err != nil || resp == nil {
+			continue // handler chose to time out
+		}
+		limit := 512
+		if query.OPT != nil && query.OPT.UDPSize > 512 {
+			limit = int(query.OPT.UDPSize)
+		}
+		wire, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		if len(wire) > limit {
+			trunc := *resp
+			trunc.Truncated = true
+			trunc.Answer, trunc.Authority, trunc.Additional = nil, nil, nil
+			if wire, err = trunc.Pack(); err != nil {
+				continue
+			}
+		}
+		if _, err := conn.WriteTo(wire, addr); err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return ctx.Err()
+			}
+			return err
+		}
+	}
+}
+
+// QueryUDP sends one query to addr over UDP and parses the response. It is
+// the client half used by cmd/ededig and tests.
+func QueryUDP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, err
+		}
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(buf[:n])
+}

@@ -1,0 +1,91 @@
+package dnssec
+
+import (
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+func benchKey(b *testing.B, alg Algorithm, bits int) *KeyPair {
+	b.Helper()
+	k, err := GenerateKey(alg, 256, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func benchSignVerify(b *testing.B, alg Algorithm, bits int) {
+	key := benchKey(b, alg, bits)
+	rrs := testRRset("bench.example")
+	signer := dnswire.MustName("example")
+
+	b.Run("sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SignRRset(rrs, key, signer, testInception, testExpiration); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sigRR, err := SignRRset(rrs, key, signer, testInception, testExpiration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := sigRR.Data.(dnswire.RRSIG)
+	pub := key.DNSKEY()
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := VerifyRRSIG(sig, rrs, pub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRRSIGEd25519(b *testing.B)   { benchSignVerify(b, AlgED25519, 0) }
+func BenchmarkRRSIGECDSAP256(b *testing.B) { benchSignVerify(b, AlgECDSAP256SHA256, 0) }
+func BenchmarkRRSIGRSASHA256(b *testing.B) { benchSignVerify(b, AlgRSASHA256, 1024) }
+
+func BenchmarkNSEC3Hash(b *testing.B) {
+	name := dnswire.MustName("www.extended-dns-errors.com")
+	salt := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	b.Run("iter0", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NSEC3Hash(name, 0, salt)
+		}
+	})
+	b.Run("iter200", func(b *testing.B) {
+		// The nsec3-iter-200 test case's cost (RFC 9276's motivation).
+		for i := 0; i < b.N; i++ {
+			NSEC3Hash(name, 200, salt)
+		}
+	})
+}
+
+func BenchmarkCreateDS(b *testing.B) {
+	key := benchKey(b, AlgED25519, 0)
+	pub := key.DNSKEY()
+	owner := dnswire.MustName("child.example")
+	for i := 0; i < b.N; i++ {
+		if _, err := CreateDS(owner, pub, DigestSHA256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckRRset(b *testing.B) {
+	key := benchKey(b, AlgED25519, 0)
+	rrs := testRRset("bench.example")
+	sigRR, err := SignRRset(rrs, key, dnswire.MustName("example"), testInception, testExpiration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := []dnswire.DNSKEY{key.DNSKEY()}
+	sup := StandardSupport()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := CheckRRset(rrs, []dnswire.RR{sigRR}, keys, testNow, sup); c.Status != SigOK {
+			b.Fatal(c.Status)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package dnssec
+
+import (
+	"crypto/sha1"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// NSEC3HashSHA1 is the only NSEC3 hash algorithm assigned (RFC 5155 §11).
+const NSEC3HashSHA1 = 1
+
+// MaxNSEC3Iterations is the iteration count above which RFC 9276 §3.2 says
+// validators may treat the zone as insecure. The paper's nsec3-iter-200 test
+// domain uses 200 iterations — above 0, the recommended value, but below the
+// refusal thresholds the tested resolvers applied in practice (none of the
+// seven returned an error for it, Table 4 row 25).
+const MaxNSEC3Iterations = 500
+
+// NSEC3Hash computes the iterated, salted SHA-1 owner-name hash of RFC 5155
+// §5: IH(0) = H(owner_wire || salt); IH(k) = H(IH(k-1) || salt).
+func NSEC3Hash(name dnswire.Name, iterations uint16, salt []byte) []byte {
+	// Wire form of the owner name, uncompressed, lower case (Name is
+	// already canonical lower case).
+	wire := nameWire(name)
+	h := sha1.New()
+	h.Write(wire)
+	h.Write(salt)
+	digest := h.Sum(nil)
+	for i := 0; i < int(iterations); i++ {
+		h.Reset()
+		h.Write(digest)
+		h.Write(salt)
+		digest = h.Sum(digest[:0])
+	}
+	return digest
+}
+
+// NSEC3HashName returns the hashed owner label for name within zone:
+// base32hex(hash) prepended to the zone apex.
+func NSEC3HashName(name, zone dnswire.Name, iterations uint16, salt []byte) dnswire.Name {
+	label := dnswire.Base32HexNoPad(NSEC3Hash(name, iterations, salt))
+	return zone.Child(label)
+}
+
+// nameWire encodes a name in uncompressed wire form.
+func nameWire(n dnswire.Name) []byte {
+	out := make([]byte, 0, n.WireLength())
+	for _, l := range n.Labels() {
+		raw := unescape(l)
+		out = append(out, byte(len(raw)))
+		out = append(out, raw...)
+	}
+	return append(out, 0)
+}
+
+func unescape(l string) []byte {
+	var out []byte
+	for i := 0; i < len(l); i++ {
+		c := l[i]
+		if c == '\\' && i+1 < len(l) {
+			next := l[i+1]
+			if next >= '0' && next <= '9' && i+3 < len(l) {
+				v := int(next-'0')*100 + int(l[i+2]-'0')*10 + int(l[i+3]-'0')
+				out = append(out, byte(v))
+				i += 3
+				continue
+			}
+			out = append(out, next)
+			i++
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// CoversHash reports whether an NSEC3 record with owner hash ownerHash and
+// next hash nextHash covers (proves the non-existence of) target hash h.
+// Hashes are compared as raw octet strings; the chain wraps around at the
+// end of the zone.
+func CoversHash(ownerHash, nextHash, h []byte) bool {
+	cmp := compareBytes
+	switch {
+	case cmp(ownerHash, nextHash) < 0:
+		return cmp(ownerHash, h) < 0 && cmp(h, nextHash) < 0
+	case cmp(ownerHash, nextHash) > 0:
+		// Last NSEC3 in the chain: covers everything after owner or
+		// before next.
+		return cmp(ownerHash, h) < 0 || cmp(h, nextHash) < 0
+	default:
+		// Single-record chain covers everything except itself.
+		return cmp(ownerHash, h) != 0
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

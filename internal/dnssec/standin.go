@@ -1,0 +1,76 @@
+package dnssec
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+)
+
+// Stand-in "signature" construction for algorithms the Go standard library
+// does not provide (Ed448, GOST R 34.10-2001) or that no modern validator is
+// permitted to validate anyway (RSA/MD5, DSA — RFC 8624 §3.1), plus the
+// unassigned/reserved algorithm numbers the paper's testbed publishes.
+//
+// Construction: the "public key" IS the key material, and the signature is
+// HMAC-SHA256 keyed by it, expanded with a counter to the algorithm's
+// realistic signature length. This is deliberately NOT a secure signature
+// scheme (knowledge of the public key suffices to forge); it is a behavioural
+// stand-in inside a closed simulation, as documented in DESIGN.md §2. What
+// the paper measures for these algorithms is which validators *attempt*
+// validation at all — and for those that do, well-formed zones must verify
+// and corrupted zones must not, which this construction preserves.
+
+func standinSeedLen(alg Algorithm) int {
+	switch alg {
+	case AlgED448:
+		return 57 // RFC 8080-style Ed448 public key length
+	case AlgRSAMD5, AlgDSA, AlgDSANSEC3SHA1:
+		return 64
+	default:
+		return 32
+	}
+}
+
+func standinSigLen(alg Algorithm) int {
+	switch alg {
+	case AlgED448:
+		return 114
+	case AlgDSA, AlgDSANSEC3SHA1:
+		return 41 // T + 20-byte R + 20-byte S
+	case AlgECCGOST:
+		return 64
+	default:
+		return 64
+	}
+}
+
+type standinKey struct {
+	alg  Algorithm
+	seed []byte
+}
+
+func (k standinKey) sign(data []byte) ([]byte, error) {
+	return standinMAC(k.alg, k.seed, data), nil
+}
+
+func standinMAC(alg Algorithm, pub, data []byte) []byte {
+	want := standinSigLen(alg)
+	out := make([]byte, 0, want+sha256.Size)
+	ctr := byte(0)
+	for len(out) < want {
+		mac := hmac.New(sha256.New, pub)
+		mac.Write([]byte{uint8(alg), ctr})
+		mac.Write(data)
+		out = mac.Sum(out)
+		ctr++
+	}
+	return out[:want]
+}
+
+func verifyStandin(alg Algorithm, pub, data, sig []byte) error {
+	want := standinMAC(alg, pub, data)
+	if len(sig) != len(want) || subtle.ConstantTimeCompare(sig, want) != 1 {
+		return ErrBadSignature
+	}
+	return nil
+}

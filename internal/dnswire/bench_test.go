@@ -1,0 +1,74 @@
+package dnswire
+
+import "testing"
+
+func BenchmarkMessagePack(b *testing.B) {
+	m := sampleMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageUnpack(b *testing.B) {
+	wire, err := sampleMessage().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEDEOptionRoundTrip(b *testing.B) {
+	m := NewQuery(1, MustName("x.example"), TypeA)
+	m.Response = true
+	m.RCode = RCodeServFail
+	m.AddEDE(9, "no SEP matching the DS found for x.example.")
+	m.AddEDE(22, "")
+	m.AddEDE(23, "192.0.2.53:53 rcode=REFUSED for x.example A")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := m.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsed, err := Unpack(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(parsed.EDEs()) != 3 {
+			b.Fatal("lost EDEs")
+		}
+	}
+}
+
+func BenchmarkNameParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewName("www.sub.extended-dns-errors.com"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNameCompare(b *testing.B) {
+	x := MustName("a.b.c.example.com")
+	y := MustName("a.b.d.example.com")
+	for i := 0; i < b.N; i++ {
+		if x.Compare(y) == 0 {
+			b.Fatal("equal")
+		}
+	}
+}
+
+func BenchmarkKeyTag(b *testing.B) {
+	k := DNSKEY{Flags: 257, Protocol: 3, Algorithm: 13, PublicKey: make([]byte, 64)}
+	for i := 0; i < b.N; i++ {
+		_ = k.KeyTag()
+	}
+}

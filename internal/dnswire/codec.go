@@ -1,0 +1,167 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// builder appends wire-format data to a buffer and tracks name-compression
+// targets. Compression is applied only where RFC 3597 permits (owner names
+// and the names inside pre-RFC-3597 RDATA: NS, CNAME, SOA, PTR, MX).
+type builder struct {
+	buf      []byte
+	compress bool
+	offsets  map[string]int // canonical name -> offset of its first encoding
+}
+
+func newBuilder(compress bool) *builder {
+	return &builder{compress: compress, offsets: make(map[string]int)}
+}
+
+func (b *builder) uint8(v uint8)   { b.buf = append(b.buf, v) }
+func (b *builder) uint16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
+func (b *builder) uint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
+func (b *builder) bytes(p []byte)  { b.buf = append(b.buf, p...) }
+
+// name encodes n, using compression pointers when allowed and profitable.
+func (b *builder) name(n Name, allowCompress bool) {
+	labels := n.Labels()
+	for i := range labels {
+		rest := Name(strings.Join(labels[i:], ".") + ".")
+		key := string(rest)
+		if b.compress && allowCompress {
+			if off, ok := b.offsets[key]; ok && off < 0x4000 {
+				b.uint16(0xC000 | uint16(off))
+				return
+			}
+		}
+		if len(b.buf) < 0x4000 {
+			b.offsets[key] = len(b.buf)
+		}
+		raw := unescapeLabel(labels[i])
+		b.uint8(uint8(len(raw)))
+		b.bytes(raw)
+	}
+	b.uint8(0)
+}
+
+// lengthPrefixed16 reserves a 16-bit length slot, runs fn, then patches the
+// slot with the number of bytes fn appended. Used for RDLENGTH.
+func (b *builder) lengthPrefixed16(fn func()) {
+	at := len(b.buf)
+	b.uint16(0)
+	fn()
+	binary.BigEndian.PutUint16(b.buf[at:], uint16(len(b.buf)-at-2))
+}
+
+// parser reads wire-format data. Compression pointers may target any earlier
+// byte of the message, so the parser keeps the whole message around.
+type parser struct {
+	msg []byte
+	off int
+}
+
+func (p *parser) remaining() int { return len(p.msg) - p.off }
+
+func (p *parser) uint8() (uint8, error) {
+	if p.remaining() < 1 {
+		return 0, ErrTruncatedName
+	}
+	v := p.msg[p.off]
+	p.off++
+	return v, nil
+}
+
+func (p *parser) uint16() (uint16, error) {
+	if p.remaining() < 2 {
+		return 0, ErrTruncatedName
+	}
+	v := binary.BigEndian.Uint16(p.msg[p.off:])
+	p.off += 2
+	return v, nil
+}
+
+func (p *parser) uint32() (uint32, error) {
+	if p.remaining() < 4 {
+		return 0, ErrTruncatedName
+	}
+	v := binary.BigEndian.Uint32(p.msg[p.off:])
+	p.off += 4
+	return v, nil
+}
+
+func (p *parser) bytes(n int) ([]byte, error) {
+	if n < 0 || p.remaining() < n {
+		return nil, ErrTruncatedName
+	}
+	v := p.msg[p.off : p.off+n]
+	p.off += n
+	return v, nil
+}
+
+// name decodes a possibly-compressed domain name starting at the current
+// offset and leaves the offset just past the name (past the first pointer if
+// one was followed).
+func (p *parser) name() (Name, error) {
+	n, next, err := decodeNameAt(p.msg, p.off)
+	if err != nil {
+		return "", err
+	}
+	p.off = next
+	return n, nil
+}
+
+// decodeNameAt decodes the name at offset off in msg and returns it together
+// with the offset of the first byte after the name's encoding at off.
+func decodeNameAt(msg []byte, off int) (Name, int, error) {
+	var b strings.Builder
+	ptrBudget := 128 // generous loop guard
+	next := -1       // offset after the name at the original position
+	totalLen := 1
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			if next < 0 {
+				next = off + 1
+			}
+			if b.Len() == 0 {
+				return Root, next, nil
+			}
+			return Name(b.String()), next, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			target := int(binary.BigEndian.Uint16(msg[off:]) & 0x3FFF)
+			if next < 0 {
+				next = off + 2
+			}
+			if target >= off {
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget == 0 {
+				return "", 0, ErrPointerLoop
+			}
+			off = target
+		case c&0xC0 != 0:
+			return "", 0, ErrBadPointer
+		default:
+			l := int(c)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			totalLen += l + 1
+			if totalLen > MaxNameLength {
+				return "", 0, ErrNameTooLong
+			}
+			b.Write(lowerLabel(msg[off+1 : off+1+l]))
+			b.WriteByte('.')
+			off += 1 + l
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// header flag bit positions within the 16-bit flags word.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+	flagAD = 1 << 5
+	flagCD = 1 << 4
+)
+
+// ErrExtendedRCodeNoOPT is returned when packing a message whose RCODE does
+// not fit the 4-bit header field and that carries no OPT record to hold the
+// extension bits.
+var ErrExtendedRCodeNoOPT = errors.New("dnswire: extended RCODE requires an OPT record")
+
+// Message is a complete DNS message. The EDNS(0) OPT pseudo-record is held in
+// the OPT field and is serialized into / parsed out of the additional section
+// automatically, so Additional never contains it.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             Opcode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	AuthenticData      bool
+	CheckingDisabled   bool
+	RCode              RCode // full 12-bit response code
+
+	Question   []Question
+	Answer     []RR
+	Authority  []RR
+	Additional []RR
+
+	OPT *OPT
+}
+
+// NewQuery builds a query message for (name, type) with RD set and EDNS
+// enabled with the DO bit, the configuration a validating stub uses.
+func NewQuery(id uint16, name Name, t Type) *Message {
+	return &Message{
+		ID:               id,
+		Opcode:           OpcodeQuery,
+		RecursionDesired: true,
+		Question:         []Question{{Name: name, Type: t, Class: ClassIN}},
+		OPT:              &OPT{UDPSize: 1232, DO: true},
+	}
+}
+
+// Reply builds a response skeleton for m: same ID, question echoed, QR set,
+// and an OPT mirroring the request's EDNS status (per RFC 6891 a responder
+// includes OPT iff the request had one).
+func (m *Message) Reply() *Message {
+	r := &Message{
+		ID:               m.ID,
+		Response:         true,
+		Opcode:           m.Opcode,
+		RecursionDesired: m.RecursionDesired,
+		CheckingDisabled: m.CheckingDisabled,
+		Question:         append([]Question(nil), m.Question...),
+	}
+	if m.OPT != nil {
+		r.OPT = &OPT{UDPSize: 1232, DO: m.OPT.DO}
+	}
+	return r
+}
+
+// DO reports whether the message requests DNSSEC records (DO bit set).
+func (m *Message) DO() bool { return m.OPT != nil && m.OPT.DO }
+
+// EDEs returns the Extended DNS Error options attached to the message.
+func (m *Message) EDEs() []EDEOption { return m.OPT.EDEs() }
+
+// EDECodes returns just the INFO-CODE values, in wire order.
+func (m *Message) EDECodes() []uint16 {
+	edes := m.EDEs()
+	if len(edes) == 0 {
+		return nil
+	}
+	out := make([]uint16, len(edes))
+	for i, e := range edes {
+		out[i] = e.InfoCode
+	}
+	return out
+}
+
+// AddEDE attaches an Extended DNS Error to the message, creating the OPT
+// record if needed.
+func (m *Message) AddEDE(infoCode uint16, extraText string) {
+	if m.OPT == nil {
+		m.OPT = &OPT{UDPSize: 1232}
+	}
+	m.OPT.AddEDE(infoCode, extraText)
+}
+
+// Pack serializes the message with name compression.
+func (m *Message) Pack() ([]byte, error) { return m.pack(true) }
+
+// PackNoCompress serializes without name compression (for ablation
+// measurements and canonical encodings).
+func (m *Message) PackNoCompress() ([]byte, error) { return m.pack(false) }
+
+func (m *Message) pack(compress bool) ([]byte, error) {
+	b := newBuilder(compress)
+
+	rcode := m.RCode
+	if rcode > 0xF && m.OPT == nil {
+		return nil, ErrExtendedRCodeNoOPT
+	}
+
+	var flags uint16
+	if m.Response {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Opcode&0xF) << 11
+	if m.Authoritative {
+		flags |= flagAA
+	}
+	if m.Truncated {
+		flags |= flagTC
+	}
+	if m.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.RecursionAvailable {
+		flags |= flagRA
+	}
+	if m.AuthenticData {
+		flags |= flagAD
+	}
+	if m.CheckingDisabled {
+		flags |= flagCD
+	}
+	flags |= uint16(rcode & 0xF)
+
+	additional := len(m.Additional)
+	if m.OPT != nil {
+		additional++
+	}
+
+	b.uint16(m.ID)
+	b.uint16(flags)
+	b.uint16(uint16(len(m.Question)))
+	b.uint16(uint16(len(m.Answer)))
+	b.uint16(uint16(len(m.Authority)))
+	b.uint16(uint16(additional))
+
+	for _, q := range m.Question {
+		b.name(q.Name, true)
+		b.uint16(uint16(q.Type))
+		b.uint16(uint16(q.Class))
+	}
+	for _, rr := range m.Answer {
+		rr.encode(b)
+	}
+	for _, rr := range m.Authority {
+		rr.encode(b)
+	}
+	for _, rr := range m.Additional {
+		rr.encode(b)
+	}
+	if m.OPT != nil {
+		opt := *m.OPT
+		opt.ExtendedRCode = uint8(rcode >> 4)
+		rr := RR{
+			Name:  Root,
+			Class: Class(opt.UDPSize),
+			TTL:   opt.ttlBits(),
+			Data:  opt,
+		}
+		rr.encode(b)
+	}
+	return b.buf, nil
+}
+
+// Unpack parses a wire-format DNS message.
+func Unpack(data []byte) (*Message, error) {
+	p := &parser{msg: data}
+	m := &Message{}
+
+	id, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = id
+	m.Response = flags&flagQR != 0
+	m.Opcode = Opcode(flags >> 11 & 0xF)
+	m.Authoritative = flags&flagAA != 0
+	m.Truncated = flags&flagTC != 0
+	m.RecursionDesired = flags&flagRD != 0
+	m.RecursionAvailable = flags&flagRA != 0
+	m.AuthenticData = flags&flagAD != 0
+	m.CheckingDisabled = flags&flagCD != 0
+	rcodeLow := RCode(flags & 0xF)
+
+	qd, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	an, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	ns, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+	ar, err := p.uint16()
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < int(qd); i++ {
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		t, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		m.Question = append(m.Question, Question{Name: name, Type: Type(t), Class: Class(c)})
+	}
+
+	sections := []struct {
+		count int
+		dst   *[]RR
+	}{
+		{int(an), &m.Answer},
+		{int(ns), &m.Authority},
+		{int(ar), &m.Additional},
+	}
+	for _, sec := range sections {
+		for i := 0; i < sec.count; i++ {
+			rr, opt, err := decodeRR(p)
+			if err != nil {
+				return nil, err
+			}
+			if opt != nil {
+				if m.OPT != nil {
+					return nil, fmt.Errorf("dnswire: multiple OPT records")
+				}
+				m.OPT = opt
+				continue
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+
+	m.RCode = rcodeLow
+	if m.OPT != nil {
+		m.RCode |= RCode(m.OPT.ExtendedRCode) << 4
+	}
+	return m, nil
+}
+
+// decodeRR decodes one RR. OPT records are returned separately.
+func decodeRR(p *parser) (RR, *OPT, error) {
+	name, err := p.name()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	t16, err := p.uint16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	c16, err := p.uint16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	ttl, err := p.uint32()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	rdlen, err := p.uint16()
+	if err != nil {
+		return RR{}, nil, err
+	}
+	if p.remaining() < int(rdlen) {
+		return RR{}, nil, ErrTruncatedName
+	}
+	end := p.off + int(rdlen)
+	t := Type(t16)
+
+	if t == TypeOPT {
+		opts, err := decodeOptions(p, end)
+		if err != nil {
+			return RR{}, nil, err
+		}
+		if p.off != end {
+			return RR{}, nil, fmt.Errorf("dnswire: OPT RDATA length mismatch")
+		}
+		return RR{}, optFromWire(Class(c16), ttl, opts), nil
+	}
+
+	data, err := decodeRData(p, t, end)
+	if err != nil {
+		return RR{}, nil, err
+	}
+	if p.off != end {
+		return RR{}, nil, fmt.Errorf("dnswire: %s RDATA length mismatch (off=%d end=%d)", t, p.off, end)
+	}
+	return RR{Name: name, Class: Class(c16), TTL: ttl, Data: data}, nil, nil
+}
+
+func decodeRData(p *parser, t Type, end int) (RData, error) {
+	switch t {
+	case TypeA:
+		raw, err := p.bytes(4)
+		if err != nil {
+			return nil, err
+		}
+		return A{Addr: netip.AddrFrom4([4]byte(raw))}, nil
+	case TypeAAAA:
+		raw, err := p.bytes(16)
+		if err != nil {
+			return nil, err
+		}
+		return AAAA{Addr: netip.AddrFrom16([16]byte(raw))}, nil
+	case TypeNS:
+		h, err := p.name()
+		return NS{Host: h}, err
+	case TypeCNAME:
+		h, err := p.name()
+		return CNAME{Target: h}, err
+	case TypePTR:
+		h, err := p.name()
+		return PTR{Target: h}, err
+	case TypeSOA:
+		var s SOA
+		var err error
+		if s.MName, err = p.name(); err != nil {
+			return nil, err
+		}
+		if s.RName, err = p.name(); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*uint32{&s.Serial, &s.Refresh, &s.Retry, &s.Expire, &s.Minimum} {
+			if *dst, err = p.uint32(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case TypeMX:
+		pref, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		h, err := p.name()
+		return MX{Preference: pref, Host: h}, err
+	case TypeTXT:
+		var t TXT
+		for p.off < end {
+			l, err := p.uint8()
+			if err != nil {
+				return nil, err
+			}
+			s, err := p.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			t.Strings = append(t.Strings, string(s))
+		}
+		return t, nil
+	case TypeDS:
+		var d DS
+		var err error
+		if d.KeyTag, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		if d.Algorithm, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if d.DigestType, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		raw, err := p.bytes(end - p.off)
+		if err != nil {
+			return nil, err
+		}
+		d.Digest = append([]byte(nil), raw...)
+		return d, nil
+	case TypeDNSKEY:
+		var k DNSKEY
+		var err error
+		if k.Flags, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		if k.Protocol, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if k.Algorithm, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		raw, err := p.bytes(end - p.off)
+		if err != nil {
+			return nil, err
+		}
+		k.PublicKey = append([]byte(nil), raw...)
+		return k, nil
+	case TypeRRSIG:
+		var s RRSIG
+		tc, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		s.TypeCovered = Type(tc)
+		if s.Algorithm, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if s.Labels, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if s.OriginalTTL, err = p.uint32(); err != nil {
+			return nil, err
+		}
+		if s.Expiration, err = p.uint32(); err != nil {
+			return nil, err
+		}
+		if s.Inception, err = p.uint32(); err != nil {
+			return nil, err
+		}
+		if s.KeyTag, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		if s.SignerName, err = p.name(); err != nil {
+			return nil, err
+		}
+		raw, err := p.bytes(end - p.off)
+		if err != nil {
+			return nil, err
+		}
+		s.Signature = append([]byte(nil), raw...)
+		return s, nil
+	case TypeNSEC:
+		var n NSEC
+		var err error
+		if n.NextName, err = p.name(); err != nil {
+			return nil, err
+		}
+		if n.Types, err = decodeTypeBitmap(p, end); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case TypeNSEC3:
+		var n NSEC3
+		var err error
+		if n.HashAlg, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if n.Flags, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if n.Iterations, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		saltLen, err := p.uint8()
+		if err != nil {
+			return nil, err
+		}
+		salt, err := p.bytes(int(saltLen))
+		if err != nil {
+			return nil, err
+		}
+		n.Salt = append([]byte(nil), salt...)
+		hashLen, err := p.uint8()
+		if err != nil {
+			return nil, err
+		}
+		h, err := p.bytes(int(hashLen))
+		if err != nil {
+			return nil, err
+		}
+		n.NextHashed = append([]byte(nil), h...)
+		if n.Types, err = decodeTypeBitmap(p, end); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case TypeNSEC3PARAM:
+		var n NSEC3PARAM
+		var err error
+		if n.HashAlg, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if n.Flags, err = p.uint8(); err != nil {
+			return nil, err
+		}
+		if n.Iterations, err = p.uint16(); err != nil {
+			return nil, err
+		}
+		saltLen, err := p.uint8()
+		if err != nil {
+			return nil, err
+		}
+		salt, err := p.bytes(int(saltLen))
+		if err != nil {
+			return nil, err
+		}
+		n.Salt = append([]byte(nil), salt...)
+		return n, nil
+	default:
+		raw, err := p.bytes(end - p.off)
+		if err != nil {
+			return nil, err
+		}
+		return Unknown{RRType: t, Raw: append([]byte(nil), raw...)}, nil
+	}
+}
+
+// String renders the message in a dig-like presentation.
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ";; opcode: %s, status: %s, id: %d\n", m.Opcode, m.RCode, m.ID)
+	fmt.Fprintf(&b, ";; flags:")
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{m.Response, "qr"}, {m.Authoritative, "aa"}, {m.Truncated, "tc"},
+		{m.RecursionDesired, "rd"}, {m.RecursionAvailable, "ra"},
+		{m.AuthenticData, "ad"}, {m.CheckingDisabled, "cd"},
+	} {
+		if f.on {
+			b.WriteString(" " + f.name)
+		}
+	}
+	b.WriteString("\n")
+	if m.OPT != nil {
+		fmt.Fprintf(&b, ";; %s\n", m.OPT)
+	}
+	if len(m.Question) > 0 {
+		b.WriteString(";; QUESTION SECTION:\n")
+		for _, q := range m.Question {
+			fmt.Fprintf(&b, ";%s\n", q)
+		}
+	}
+	dump := func(title string, rrs []RR) {
+		if len(rrs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, ";; %s SECTION:\n", title)
+		for _, rr := range rrs {
+			fmt.Fprintf(&b, "%s\n", rr)
+		}
+	}
+	dump("ANSWER", m.Answer)
+	dump("AUTHORITY", m.Authority)
+	dump("ADDITIONAL", m.Additional)
+	return b.String()
+}

@@ -1,0 +1,303 @@
+// Package dnswire implements the DNS wire format (RFC 1035) together with
+// EDNS(0) (RFC 6891) and the Extended DNS Errors option (RFC 8914).
+//
+// The package is self-contained: it parses and serializes complete DNS
+// messages, including the resource record types needed for DNSSEC (RFC 4034)
+// and hashed denial of existence (RFC 5155). It is the lowest layer of the
+// edelab reproduction; everything above it (zones, servers, resolvers,
+// scanners) exchanges *Message values built here.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Limits from RFC 1035 §2.3.4 and §3.1.
+const (
+	// MaxLabelLength is the maximum length of a single label in octets.
+	MaxLabelLength = 63
+	// MaxNameLength is the maximum length of a domain name in wire octets,
+	// including the terminating zero label.
+	MaxNameLength = 255
+)
+
+// Errors returned by name parsing and packing.
+var (
+	ErrNameTooLong     = errors.New("dnswire: domain name exceeds 255 octets")
+	ErrLabelTooLong    = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel      = errors.New("dnswire: empty label inside name")
+	ErrBadEscape       = errors.New("dnswire: bad escape sequence in name")
+	ErrBadPointer      = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop     = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedName   = errors.New("dnswire: truncated domain name")
+	ErrTrailingGarbage = errors.New("dnswire: trailing bytes after message")
+)
+
+// A Name is a fully-qualified domain name in presentation form, always with a
+// trailing dot and always lower-cased ("example.com."). The root is ".".
+//
+// Name values are produced by NewName (which validates and canonicalizes) or
+// by the message parser. The zero value "" is invalid; use Root for the root.
+type Name string
+
+// Root is the root domain name.
+const Root Name = "."
+
+// NewName validates s as a domain name and returns its canonical form:
+// lower case with a trailing dot. Escapes of the form \. and \DDD are
+// understood. An empty string and "." both denote the root.
+func NewName(s string) (Name, error) {
+	labels, err := splitLabels(s)
+	if err != nil {
+		return "", err
+	}
+	total := 1 // terminating zero label
+	var b strings.Builder
+	for _, l := range labels {
+		if len(l) > MaxLabelLength {
+			return "", ErrLabelTooLong
+		}
+		if len(l) == 0 {
+			return "", ErrEmptyLabel
+		}
+		total += len(l) + 1
+		b.Write(lowerLabel(l))
+		b.WriteByte('.')
+	}
+	if total > MaxNameLength {
+		return "", ErrNameTooLong
+	}
+	if b.Len() == 0 {
+		return Root, nil
+	}
+	return Name(b.String()), nil
+}
+
+// MustName is NewName that panics on error; for constants in tests and setup
+// code where the input is known valid.
+func MustName(s string) Name {
+	n, err := NewName(s)
+	if err != nil {
+		panic(fmt.Sprintf("dnswire: MustName(%q): %v", s, err))
+	}
+	return n
+}
+
+// splitLabels splits a presentation-form name into raw label byte slices,
+// handling \. and \DDD escapes.
+func splitLabels(s string) ([][]byte, error) {
+	s = strings.TrimSuffix(s, ".")
+	if s == "" {
+		return nil, nil
+	}
+	var labels [][]byte
+	var cur []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, ErrBadEscape
+			}
+			next := s[i+1]
+			if next >= '0' && next <= '9' {
+				if i+3 >= len(s) {
+					return nil, ErrBadEscape
+				}
+				v := 0
+				for j := 1; j <= 3; j++ {
+					d := s[i+j]
+					if d < '0' || d > '9' {
+						return nil, ErrBadEscape
+					}
+					v = v*10 + int(d-'0')
+				}
+				if v > 255 {
+					return nil, ErrBadEscape
+				}
+				cur = append(cur, byte(v))
+				i += 3
+			} else {
+				cur = append(cur, next)
+				i++
+			}
+		case '.':
+			labels = append(labels, cur)
+			cur = nil
+		default:
+			cur = append(cur, c)
+		}
+	}
+	labels = append(labels, cur)
+	return labels, nil
+}
+
+func lowerLabel(l []byte) []byte {
+	out := make([]byte, len(l))
+	for i, c := range l {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	// Re-escape bytes that are special in presentation form.
+	var b []byte
+	for _, c := range out {
+		switch {
+		case c == '.' || c == '\\':
+			b = append(b, '\\', c)
+		case c < '!' || c > '~':
+			b = append(b, []byte(fmt.Sprintf("\\%03d", c))...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// IsRoot reports whether n is the root name.
+func (n Name) IsRoot() bool { return n == Root }
+
+// String returns the presentation form (Name is already presentation form).
+func (n Name) String() string { return string(n) }
+
+// Labels returns the labels of n from leftmost to rightmost, without the
+// terminating root label. The root name has zero labels.
+func (n Name) Labels() []string {
+	if n.IsRoot() || n == "" {
+		return nil
+	}
+	s := strings.TrimSuffix(string(n), ".")
+	return splitPresentation(s)
+}
+
+// splitPresentation splits on unescaped dots.
+func splitPresentation(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '.':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// LabelCount returns the number of labels in n (0 for the root).
+func (n Name) LabelCount() int { return len(n.Labels()) }
+
+// Parent returns the name with the leftmost label removed; the parent of the
+// root is the root.
+func (n Name) Parent() Name {
+	labels := n.Labels()
+	if len(labels) <= 1 {
+		return Root
+	}
+	return Name(strings.Join(labels[1:], ".") + ".")
+}
+
+// Child returns the name formed by prepending label to n.
+func (n Name) Child(label string) Name {
+	if n.IsRoot() {
+		return MustName(label + ".")
+	}
+	return MustName(label + "." + string(n))
+}
+
+// IsSubdomainOf reports whether n is equal to or below parent.
+func (n Name) IsSubdomainOf(parent Name) bool {
+	if parent.IsRoot() {
+		return true
+	}
+	if n == parent {
+		return true
+	}
+	return strings.HasSuffix(string(n), "."+string(parent))
+}
+
+// TLD returns the rightmost label of n ("com" for "a.example.com."); the
+// empty string for the root.
+func (n Name) TLD() string {
+	labels := n.Labels()
+	if len(labels) == 0 {
+		return ""
+	}
+	return labels[len(labels)-1]
+}
+
+// WireLength returns the encoded length of n in octets without compression.
+func (n Name) WireLength() int {
+	total := 1
+	for _, l := range n.Labels() {
+		total += len(unescapeLabel(l)) + 1
+	}
+	return total
+}
+
+func unescapeLabel(l string) []byte {
+	var out []byte
+	for i := 0; i < len(l); i++ {
+		c := l[i]
+		if c == '\\' && i+1 < len(l) {
+			next := l[i+1]
+			if next >= '0' && next <= '9' && i+3 < len(l) {
+				v := int(next-'0')*100 + int(l[i+2]-'0')*10 + int(l[i+3]-'0')
+				out = append(out, byte(v))
+				i += 3
+				continue
+			}
+			out = append(out, next)
+			i++
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Compare orders names in DNSSEC canonical order (RFC 4034 §6.1): by label
+// from the rightmost, each label compared as lower-case octet strings.
+// It returns -1, 0, or +1.
+func (n Name) Compare(m Name) int {
+	a, b := n.Labels(), m.Labels()
+	for i := 1; ; i++ {
+		ai, bi := len(a)-i, len(b)-i
+		switch {
+		case ai < 0 && bi < 0:
+			return 0
+		case ai < 0:
+			return -1
+		case bi < 0:
+			return 1
+		}
+		la, lb := unescapeLabel(a[ai]), unescapeLabel(b[bi])
+		if c := compareOctets(la, lb); c != 0 {
+			return c
+		}
+	}
+}
+
+func compareOctets(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

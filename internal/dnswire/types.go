@@ -1,0 +1,148 @@
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// Resource record types used by this reproduction.
+const (
+	TypeNone       Type = 0
+	TypeA          Type = 1
+	TypeNS         Type = 2
+	TypeCNAME      Type = 5
+	TypeSOA        Type = 6
+	TypePTR        Type = 12
+	TypeMX         Type = 15
+	TypeTXT        Type = 16
+	TypeAAAA       Type = 28
+	TypeOPT        Type = 41
+	TypeDS         Type = 43
+	TypeRRSIG      Type = 46
+	TypeNSEC       Type = 47
+	TypeDNSKEY     Type = 48
+	TypeNSEC3      Type = 50
+	TypeNSEC3PARAM Type = 51
+	TypeAXFR       Type = 252
+	TypeANY        Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeNone:       "NONE",
+	TypeA:          "A",
+	TypeNS:         "NS",
+	TypeCNAME:      "CNAME",
+	TypeSOA:        "SOA",
+	TypePTR:        "PTR",
+	TypeMX:         "MX",
+	TypeTXT:        "TXT",
+	TypeAAAA:       "AAAA",
+	TypeOPT:        "OPT",
+	TypeDS:         "DS",
+	TypeRRSIG:      "RRSIG",
+	TypeNSEC:       "NSEC",
+	TypeDNSKEY:     "DNSKEY",
+	TypeNSEC3:      "NSEC3",
+	TypeNSEC3PARAM: "NSEC3PARAM",
+	TypeAXFR:       "AXFR",
+	TypeANY:        "ANY",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class. Only IN is used operationally; the OPT pseudo-RR
+// reuses the class field for the requestor's UDP payload size.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassIN  Class = 1
+	ClassCH  Class = 3
+	ClassANY Class = 255
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// Opcode is the 4-bit message opcode.
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// RCode is a DNS response code. Values above 15 require EDNS (the upper bits
+// travel in the OPT TTL field); Message handles the split transparently.
+type RCode uint16
+
+// Response codes (RFC 1035 §4.1.1, RFC 6895).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+	RCodeYXDomain RCode = 6
+	RCodeNotAuth  RCode = 9
+	RCodeBadVers  RCode = 16
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeNoError:  "NOERROR",
+	RCodeFormErr:  "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+	RCodeYXDomain: "YXDOMAIN",
+	RCodeNotAuth:  "NOTAUTH",
+	RCodeBadVers:  "BADVERS",
+}
+
+func (r RCode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint16(r))
+}
+
+// Question is the single entry of the question section.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}

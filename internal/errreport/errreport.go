@@ -1,0 +1,186 @@
+// Package errreport implements DNS Error Reporting (RFC 9567, published
+// from the draft-ietf-dnsop-dns-error-reporting work the paper's §2 cites
+// as building on EDE): a resolver that encounters a resolution failure
+// encodes the failing query and its EDE INFO-CODE into a specially-formed
+// QNAME under a monitoring agent's domain and sends it as a TXT query. The
+// agent's authoritative server thereby learns about failures observed by
+// resolvers worldwide — closing the loop the paper's conclusion asks for,
+// where operators find out about their own misconfigurations.
+//
+// Report QNAME format (RFC 9567 §6.1.1):
+//
+//	_er.<QTYPE>.<QNAME labels>.<INFO-CODE>._er.<agent domain>
+package errreport
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+)
+
+// BuildQName encodes a report for (qname, qtype, infoCode) under agent.
+// It fails if the resulting name would not fit DNS length limits.
+func BuildQName(qname dnswire.Name, qtype dnswire.Type, infoCode uint16, agent dnswire.Name) (dnswire.Name, error) {
+	labels := []string{"_er", strconv.Itoa(int(uint16(qtype)))}
+	labels = append(labels, qname.Labels()...)
+	labels = append(labels, strconv.Itoa(int(infoCode)), "_er")
+	full := strings.Join(labels, ".") + "." + string(agent)
+	return dnswire.NewName(full)
+}
+
+// Report is one decoded error report.
+type Report struct {
+	QName    dnswire.Name
+	QType    dnswire.Type
+	InfoCode uint16
+}
+
+// ParseQName decodes a report QNAME received at agent. ok is false for
+// names that are not well-formed reports.
+func ParseQName(name, agent dnswire.Name) (Report, bool) {
+	if !name.IsSubdomainOf(agent) {
+		return Report{}, false
+	}
+	labels := name.Labels()
+	agentLabels := agent.LabelCount()
+	inner := labels[:len(labels)-agentLabels]
+	// _er . QTYPE . <qname...> . INFO-CODE . _er
+	if len(inner) < 5 || inner[0] != "_er" || inner[len(inner)-1] != "_er" {
+		return Report{}, false
+	}
+	qtype, err := strconv.Atoi(inner[1])
+	if err != nil || qtype < 0 || qtype > 0xFFFF {
+		return Report{}, false
+	}
+	code, err := strconv.Atoi(inner[len(inner)-2])
+	if err != nil || code < 0 || code > 0xFFFF {
+		return Report{}, false
+	}
+	qname, err := dnswire.NewName(strings.Join(inner[2:len(inner)-2], "."))
+	if err != nil {
+		return Report{}, false
+	}
+	return Report{QName: qname, QType: dnswire.Type(qtype), InfoCode: uint16(code)}, true
+}
+
+// Agent is the monitoring agent's authoritative endpoint: it answers report
+// queries (with a benign TXT, per RFC 9567 §6.2) and tallies them.
+type Agent struct {
+	Domain dnswire.Name
+
+	mu      sync.Mutex
+	reports []Report
+	counts  map[uint16]int
+}
+
+// NewAgent creates an agent authoritative for domain.
+func NewAgent(domain dnswire.Name) *Agent {
+	return &Agent{Domain: domain, counts: make(map[uint16]int)}
+}
+
+// HandleDNS implements netsim.Handler.
+func (a *Agent) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	resp := q.Reply()
+	if len(q.Question) != 1 {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp, nil
+	}
+	question := q.Question[0]
+	report, ok := ParseQName(question.Name, a.Domain)
+	if !ok {
+		resp.RCode = dnswire.RCodeNXDomain
+		return resp, nil
+	}
+	a.mu.Lock()
+	a.reports = append(a.reports, report)
+	a.counts[report.InfoCode]++
+	a.mu.Unlock()
+
+	resp.Authoritative = true
+	resp.Answer = append(resp.Answer, dnswire.RR{
+		Name: question.Name, Class: dnswire.ClassIN, TTL: 1,
+		Data: dnswire.TXT{Strings: []string{"report received"}},
+	})
+	return resp, nil
+}
+
+// Reports returns a copy of everything received.
+func (a *Agent) Reports() []Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Report(nil), a.reports...)
+}
+
+// CountsByCode returns received report counts per INFO-CODE.
+func (a *Agent) CountsByCode() map[uint16]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint16]int, len(a.counts))
+	for k, v := range a.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// TopCodes lists codes by descending report count.
+func (a *Agent) TopCodes() []uint16 {
+	counts := a.CountsByCode()
+	codes := make([]uint16, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		if counts[codes[i]] != counts[codes[j]] {
+			return counts[codes[i]] > counts[codes[j]]
+		}
+		return codes[i] < codes[j]
+	})
+	return codes
+}
+
+// Reporter sends error reports on behalf of a resolver. AgentAddr is the
+// agent's server address; in a full deployment the reporting resolver would
+// discover it by resolving the agent domain advertised in the REPORT-CHANNEL
+// option — the direct address keeps the reporting path independent of the
+// (possibly broken) resolution path under study.
+type Reporter struct {
+	Net       *netsim.Network
+	Agent     dnswire.Name
+	AgentAddr netip.Addr
+
+	mu   sync.Mutex
+	sent uint64
+}
+
+// Sent returns how many reports were dispatched.
+func (r *Reporter) Sent() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sent
+}
+
+// ReportFailure dispatches one report for a failed resolution. Unparseable
+// inputs (names too long to embed) are dropped, as the RFC requires.
+func (r *Reporter) ReportFailure(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, infoCode uint16) error {
+	reportName, err := BuildQName(qname, qtype, infoCode, r.Agent)
+	if err != nil {
+		return fmt.Errorf("errreport: %w", err)
+	}
+	q := dnswire.NewQuery(uint16(infoCode)^0x5A5A, reportName, dnswire.TypeTXT)
+	if _, err := r.Net.Query(ctx, r.AgentAddr, q); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.sent++
+	r.mu.Unlock()
+	return nil
+}
+
+var _ netsim.Handler = (*Agent)(nil)

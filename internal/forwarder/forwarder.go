@@ -1,0 +1,124 @@
+// Package forwarder implements a DNS forwarder that proxies client queries
+// to an upstream recursive resolver and passes Extended DNS Errors through.
+//
+// RFC 8914 §2 notes that any DNS system — "a recursive resolver, a
+// forwarder, or an authoritative nameserver" — can generate, forward, and
+// parse EDE codes, and §3 warns intermediaries to forward them unchanged
+// rather than strip or reinterpret them. This package demonstrates the
+// forwarding role: the home-router/enterprise hop between stub clients and
+// the public resolvers the paper measures. It can also annotate upstream
+// failures with its own codes (Network Error when the upstream is down),
+// exactly as the RFC permits multiple EDE options in one response.
+package forwarder
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+)
+
+// Upstream answers recursive queries; *resolver.Resolver satisfies it via
+// the Adapter below, and tests can stub it.
+type Upstream interface {
+	Exchange(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error)
+}
+
+// ResolverUpstream adapts a resolver.Resolver to Upstream.
+type ResolverUpstream struct{ R *resolver.Resolver }
+
+// Exchange implements Upstream.
+func (u ResolverUpstream) Exchange(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	return u.R.Resolve(ctx, qname, qtype).Msg, nil
+}
+
+// Forwarder is a netsim.Handler proxying to an upstream.
+type Forwarder struct {
+	Upstream Upstream
+	// StripEDE models a broken intermediary that drops the options —
+	// useful as the negative control in tests (the behaviour RFC 8914
+	// advises against).
+	StripEDE bool
+	// Annotate adds the forwarder's own EDE when the upstream exchange
+	// itself fails (Network Error, per §2's multi-hop story).
+	Annotate bool
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts forwarded traffic.
+type Stats struct {
+	Queries      uint64
+	UpstreamErrs uint64
+	EDEForwarded uint64
+}
+
+// New creates a forwarder over up.
+func New(up Upstream) *Forwarder {
+	return &Forwarder{Upstream: up, Annotate: true}
+}
+
+// Stats returns a snapshot.
+func (f *Forwarder) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// HandleDNS implements netsim.Handler.
+func (f *Forwarder) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	f.mu.Lock()
+	f.stats.Queries++
+	f.mu.Unlock()
+
+	if len(q.Question) != 1 {
+		r := q.Reply()
+		r.RCode = dnswire.RCodeFormErr
+		return r, nil
+	}
+	question := q.Question[0]
+
+	upctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	resp, err := f.Upstream.Exchange(upctx, question.Name, question.Type)
+	if err != nil || resp == nil {
+		r := q.Reply()
+		r.RCode = dnswire.RCodeServFail
+		if f.Annotate {
+			r.AddEDE(uint16(ede.CodeNetworkError), "upstream resolver unreachable")
+		}
+		f.mu.Lock()
+		f.stats.UpstreamErrs++
+		f.mu.Unlock()
+		return r, nil
+	}
+
+	// Re-head the upstream answer for this client: same ID/question, the
+	// upstream's RCODE, answer, and — unless configured to misbehave — its
+	// EDE options, forwarded verbatim.
+	out := q.Reply()
+	out.RCode = resp.RCode
+	out.RecursionAvailable = true
+	out.AuthenticData = resp.AuthenticData
+	out.Answer = resp.Answer
+	out.Authority = resp.Authority
+
+	if !f.StripEDE && q.OPT != nil {
+		for _, e := range resp.EDEs() {
+			out.AddEDE(e.InfoCode, e.ExtraText)
+		}
+		if n := len(resp.EDEs()); n > 0 {
+			f.mu.Lock()
+			f.stats.EDEForwarded += uint64(n)
+			f.mu.Unlock()
+		}
+	}
+	return out, nil
+}
+
+var _ netsim.Handler = (*Forwarder)(nil)

@@ -1,0 +1,122 @@
+package forwarder
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+type stubUpstream struct {
+	resp *dnswire.Message
+	err  error
+}
+
+func (s stubUpstream) Exchange(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	return s.resp, s.err
+}
+
+func upstreamWithEDE() stubUpstream {
+	m := &dnswire.Message{Response: true, RCode: dnswire.RCodeServFail,
+		Question: []dnswire.Question{{Name: dnswire.MustName("x.example"), Type: dnswire.TypeA, Class: dnswire.ClassIN}}}
+	m.AddEDE(9, "no SEP matching the DS found for x.example.")
+	m.AddEDE(23, "192.0.2.1:53 rcode=REFUSED for x.example A")
+	return stubUpstream{resp: m}
+}
+
+func TestForwardsEDEVerbatim(t *testing.T) {
+	f := New(upstreamWithEDE())
+	q := dnswire.NewQuery(7, dnswire.MustName("x.example"), dnswire.TypeA)
+	resp, err := f.HandleDNS(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 {
+		t.Errorf("ID = %d (must match the client, not the upstream)", resp.ID)
+	}
+	edes := resp.EDEs()
+	if len(edes) != 2 || edes[0].InfoCode != 9 || edes[1].InfoCode != 23 {
+		t.Fatalf("EDEs = %v", edes)
+	}
+	if edes[0].ExtraText == "" {
+		t.Error("EXTRA-TEXT stripped in forwarding")
+	}
+	if st := f.Stats(); st.EDEForwarded != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStripEDENegativeControl(t *testing.T) {
+	f := New(upstreamWithEDE())
+	f.StripEDE = true
+	q := dnswire.NewQuery(8, dnswire.MustName("x.example"), dnswire.TypeA)
+	resp, err := f.HandleDNS(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.EDEs()) != 0 {
+		t.Errorf("EDEs = %v, want none from a stripping intermediary", resp.EDEs())
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %s (the classic opaque failure)", resp.RCode)
+	}
+}
+
+func TestNoEDNSClientGetsNoOptions(t *testing.T) {
+	f := New(upstreamWithEDE())
+	q := dnswire.NewQuery(9, dnswire.MustName("x.example"), dnswire.TypeA)
+	q.OPT = nil // pre-EDNS stub
+	resp, err := f.HandleDNS(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OPT != nil {
+		t.Error("OPT added for a non-EDNS client")
+	}
+}
+
+func TestAnnotatesUpstreamFailure(t *testing.T) {
+	f := New(stubUpstream{err: errors.New("down")})
+	q := dnswire.NewQuery(10, dnswire.MustName("x.example"), dnswire.TypeA)
+	resp, err := f.HandleDNS(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %s", resp.RCode)
+	}
+	codes := resp.EDECodes()
+	if len(codes) != 1 || codes[0] != 23 {
+		t.Errorf("codes = %v, want the forwarder's own Network Error", codes)
+	}
+	if st := f.Stats(); st.UpstreamErrs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestEndToEndThroughTestbed chains stub → forwarder → validating resolver →
+// the paper's testbed, checking the EDE arrives intact across the extra hop.
+func TestEndToEndThroughTestbed(t *testing.T) {
+	tb, err := testbed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tb.NewResolver(resolver.ProfileCloudflare())
+	f := New(ResolverUpstream{R: r})
+
+	q := dnswire.NewQuery(11, testbed.ParentZone.Child("rrsig-exp-all"), dnswire.TypeA)
+	resp, err := f.HandleDNS(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %s", resp.RCode)
+	}
+	codes := resp.EDECodes()
+	if len(codes) != 1 || codes[0] != 7 {
+		t.Errorf("codes = %v, want [7] through the forwarder", codes)
+	}
+}

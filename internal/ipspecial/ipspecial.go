@@ -1,0 +1,134 @@
+// Package ipspecial classifies IP addresses against the IANA special-purpose
+// address registries (RFC 6890 and successors). The paper's testbed groups 6
+// and 7 publish glue records pointing into exactly these ranges; a resolver
+// that tries to contact such a "nameserver" can never reach a genuine
+// authoritative server, producing the lame delegations behind EDE 22/23.
+package ipspecial
+
+import "net/netip"
+
+// Category identifies a special-purpose address block, named after the
+// testbed subdomain that uses it (Table 3 groups 6 and 7).
+type Category string
+
+// Special-purpose categories.
+const (
+	// Globally routable unicast, not special.
+	CategoryGlobal Category = "global"
+
+	// IPv4 special blocks.
+	CategoryV4ThisHost  Category = "v4-this-host"   // 0.0.0.0/8
+	CategoryV4Private10 Category = "v4-private-10"  // 10.0.0.0/8
+	CategoryV4Loopback  Category = "v4-loopback"    // 127.0.0.0/8
+	CategoryV4LinkLocal Category = "v4-link-local"  // 169.254.0.0/16
+	CategoryV4Private17 Category = "v4-private-172" // 172.16.0.0/12
+	CategoryV4Private19 Category = "v4-private-192" // 192.168.0.0/16
+	CategoryV4Doc       Category = "v4-doc"         // 192.0.2.0/24, 198.51.100.0/24, 203.0.113.0/24
+	CategoryV4Reserved  Category = "v4-reserved"    // 240.0.0.0/4
+
+	// IPv6 special blocks.
+	CategoryV6Unspecified Category = "v6-unspecified"  // ::
+	CategoryV6Localhost   Category = "v6-localhost"    // ::1
+	CategoryV6Mapped      Category = "v6-mapped"       // ::ffff:0:0/96
+	CategoryV6MappedDep   Category = "v6-mapped-dep"   // ::/96 deprecated IPv4-compatible
+	CategoryV6NAT64       Category = "v6-nat64"        // 64:ff9b::/96
+	CategoryV6Doc         Category = "v6-doc"          // 2001:db8::/32
+	CategoryV6UniqueLocal Category = "v6-unique-local" // fc00::/7
+	CategoryV6LinkLocal   Category = "v6-link-local"   // fe80::/10
+	CategoryV6Multicast   Category = "v6-multicast"    // ff00::/8
+)
+
+type block struct {
+	prefix netip.Prefix
+	cat    Category
+}
+
+// Ordered most-specific-first so ::1 wins over ::/96 and the documentation
+// nets win over their parents.
+var blocks = []block{
+	{netip.MustParsePrefix("::1/128"), CategoryV6Localhost},
+	{netip.MustParsePrefix("::/128"), CategoryV6Unspecified},
+	{netip.MustParsePrefix("::ffff:0:0/96"), CategoryV6Mapped},
+	{netip.MustParsePrefix("64:ff9b::/96"), CategoryV6NAT64},
+	{netip.MustParsePrefix("::/96"), CategoryV6MappedDep},
+	{netip.MustParsePrefix("2001:db8::/32"), CategoryV6Doc},
+	{netip.MustParsePrefix("fc00::/7"), CategoryV6UniqueLocal},
+	{netip.MustParsePrefix("fe80::/10"), CategoryV6LinkLocal},
+	{netip.MustParsePrefix("ff00::/8"), CategoryV6Multicast},
+
+	{netip.MustParsePrefix("0.0.0.0/8"), CategoryV4ThisHost},
+	{netip.MustParsePrefix("10.0.0.0/8"), CategoryV4Private10},
+	{netip.MustParsePrefix("127.0.0.0/8"), CategoryV4Loopback},
+	{netip.MustParsePrefix("169.254.0.0/16"), CategoryV4LinkLocal},
+	{netip.MustParsePrefix("172.16.0.0/12"), CategoryV4Private17},
+	{netip.MustParsePrefix("192.0.2.0/24"), CategoryV4Doc},
+	{netip.MustParsePrefix("198.51.100.0/24"), CategoryV4Doc},
+	{netip.MustParsePrefix("203.0.113.0/24"), CategoryV4Doc},
+	{netip.MustParsePrefix("192.168.0.0/16"), CategoryV4Private19},
+	{netip.MustParsePrefix("240.0.0.0/4"), CategoryV4Reserved},
+}
+
+// Classify returns the special-purpose category of addr, or CategoryGlobal
+// when the address is ordinary routable unicast.
+func Classify(addr netip.Addr) Category {
+	a := addr.Unmap() // treat ::ffff:a.b.c.d as IPv4 only when explicit below
+	if addr.Is4In6() {
+		// Explicit IPv4-mapped IPv6 form: that *form* is the special
+		// category (a nameserver glue record must not carry it).
+		return CategoryV6Mapped
+	}
+	for _, b := range blocks {
+		if b.prefix.Contains(a) {
+			return b.cat
+		}
+	}
+	return CategoryGlobal
+}
+
+// Routable reports whether a DNS resolver on the public Internet could
+// plausibly exchange packets with addr. All special-purpose categories are
+// unroutable from a public resolver's vantage point.
+func Routable(addr netip.Addr) bool { return Classify(addr) == CategoryGlobal }
+
+// Example returns a representative address for a category, used by the
+// testbed builder to publish the Table 3 glue records.
+func Example(cat Category) netip.Addr {
+	switch cat {
+	case CategoryV4ThisHost:
+		return netip.MustParseAddr("0.0.0.0")
+	case CategoryV4Private10:
+		return netip.MustParseAddr("10.53.53.53")
+	case CategoryV4Loopback:
+		return netip.MustParseAddr("127.0.0.53")
+	case CategoryV4LinkLocal:
+		return netip.MustParseAddr("169.254.53.53")
+	case CategoryV4Private17:
+		return netip.MustParseAddr("172.16.53.53")
+	case CategoryV4Private19:
+		return netip.MustParseAddr("192.168.53.53")
+	case CategoryV4Doc:
+		return netip.MustParseAddr("192.0.2.53")
+	case CategoryV4Reserved:
+		return netip.MustParseAddr("240.0.0.53")
+	case CategoryV6Unspecified:
+		return netip.MustParseAddr("::")
+	case CategoryV6Localhost:
+		return netip.MustParseAddr("::1")
+	case CategoryV6Mapped:
+		return netip.MustParseAddr("::ffff:192.0.2.53")
+	case CategoryV6MappedDep:
+		return netip.MustParseAddr("::192.0.2.53")
+	case CategoryV6NAT64:
+		return netip.MustParseAddr("64:ff9b::192.0.2.53")
+	case CategoryV6Doc:
+		return netip.MustParseAddr("2001:db8::53")
+	case CategoryV6UniqueLocal:
+		return netip.MustParseAddr("fd00::53")
+	case CategoryV6LinkLocal:
+		return netip.MustParseAddr("fe80::53")
+	case CategoryV6Multicast:
+		return netip.MustParseAddr("ff02::53")
+	default:
+		return netip.MustParseAddr("198.18.0.1")
+	}
+}

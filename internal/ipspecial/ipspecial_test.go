@@ -1,0 +1,72 @@
+package ipspecial
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		addr string
+		want Category
+	}{
+		{"0.0.0.1", CategoryV4ThisHost},
+		{"10.1.2.3", CategoryV4Private10},
+		{"127.0.0.1", CategoryV4Loopback},
+		{"169.254.1.1", CategoryV4LinkLocal},
+		{"172.16.0.1", CategoryV4Private17},
+		{"172.32.0.1", CategoryGlobal}, // just past 172.16/12
+		{"192.0.2.7", CategoryV4Doc},
+		{"198.51.100.9", CategoryV4Doc},
+		{"203.0.113.200", CategoryV4Doc},
+		{"192.168.255.255", CategoryV4Private19},
+		{"240.0.0.1", CategoryV4Reserved},
+		{"8.8.8.8", CategoryGlobal},
+		{"198.18.0.1", CategoryGlobal}, // benchmark range: routable in our sim
+		{"::", CategoryV6Unspecified},
+		{"::1", CategoryV6Localhost},
+		{"::ffff:8.8.8.8", CategoryV6Mapped},
+		{"::192.0.2.1", CategoryV6MappedDep},
+		{"64:ff9b::1", CategoryV6NAT64},
+		{"2001:db8::53", CategoryV6Doc},
+		{"fd12::1", CategoryV6UniqueLocal},
+		{"fe80::1", CategoryV6LinkLocal},
+		{"ff02::1", CategoryV6Multicast},
+		{"2606:4700::1111", CategoryGlobal},
+	}
+	for _, c := range cases {
+		got := Classify(netip.MustParseAddr(c.addr))
+		if got != c.want {
+			t.Errorf("Classify(%s) = %s, want %s", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRoutable(t *testing.T) {
+	if Routable(netip.MustParseAddr("10.0.0.1")) {
+		t.Error("10/8 routable")
+	}
+	if !Routable(netip.MustParseAddr("1.1.1.1")) {
+		t.Error("1.1.1.1 not routable")
+	}
+}
+
+func TestExamplesAreSelfConsistent(t *testing.T) {
+	cats := []Category{
+		CategoryV4ThisHost, CategoryV4Private10, CategoryV4Loopback,
+		CategoryV4LinkLocal, CategoryV4Private17, CategoryV4Private19,
+		CategoryV4Doc, CategoryV4Reserved,
+		CategoryV6Unspecified, CategoryV6Localhost, CategoryV6Mapped,
+		CategoryV6MappedDep, CategoryV6NAT64, CategoryV6Doc,
+		CategoryV6UniqueLocal, CategoryV6LinkLocal, CategoryV6Multicast,
+	}
+	for _, cat := range cats {
+		addr := Example(cat)
+		if got := Classify(addr); got != cat {
+			t.Errorf("Example(%s) = %s classifies as %s", cat, addr, got)
+		}
+		if Routable(addr) {
+			t.Errorf("Example(%s) = %s is routable", cat, addr)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package netsim provides the in-memory network substrate the reproduction
+// runs on: addressable DNS endpoints exchanging real wire-format messages.
+//
+// The substitution this makes for the paper's real-Internet measurements is
+// documented in DESIGN.md §2: resolution logic above this package is
+// unchanged; only the transport is swapped. Requests and responses are
+// packed to wire format and re-parsed at each hop, so the full codec runs on
+// every simulated exchange exactly as it would over UDP.
+//
+// Addresses in IANA special-purpose ranges (loopback, private, documentation,
+// multicast, ...) are unroutable, mirroring a public resolver's vantage
+// point; queries to them time out. This is what turns the testbed's invalid
+// glue records (Table 3 groups 6 and 7) into the lame delegations the paper
+// observes.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ipspecial"
+)
+
+// Errors surfaced to querying clients. A real client cannot distinguish an
+// unroutable destination from a silent one — both are ErrTimeout — but the
+// simulator counts them separately for diagnostics.
+var (
+	ErrTimeout = errors.New("netsim: query timed out")
+)
+
+// Handler processes one DNS query addressed to an endpoint.
+type Handler interface {
+	HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+
+// HandleDNS implements Handler.
+func (f HandlerFunc) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	return f(ctx, q)
+}
+
+// Stats is a snapshot of network counters.
+type Stats struct {
+	Queries     uint64 // queries attempted
+	Unroutable  uint64 // destinations in special-purpose ranges
+	Unreachable uint64 // routable but no endpoint registered
+	Lost        uint64 // dropped by the loss process
+	Answered    uint64 // handler produced a response
+	Errors      uint64 // handler returned an error (silent server)
+}
+
+// Network is an in-memory internet of DNS endpoints.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[netip.Addr]Handler
+	lossRate  float64
+	rng       *rand.Rand
+	stats     Stats
+}
+
+// New creates an empty network. seed drives the (optional) loss process.
+func New(seed uint64) *Network {
+	return &Network{
+		endpoints: make(map[netip.Addr]Handler),
+		rng:       rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)),
+	}
+}
+
+// SetLossRate configures the probability in [0,1) that any query is dropped.
+func (n *Network) SetLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = p
+}
+
+// Register attaches handler h to addr, replacing any previous endpoint.
+func (n *Network) Register(addr netip.Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[addr] = h
+}
+
+// Deregister removes the endpoint at addr.
+func (n *Network) Deregister(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.stats
+}
+
+// Query sends msg to the endpoint at server and returns its response. The
+// message round-trips through wire format in both directions so that every
+// exchange exercises the real codec.
+func (n *Network) Query(ctx context.Context, server netip.Addr, msg *dnswire.Message) (*dnswire.Message, error) {
+	n.mu.Lock()
+	n.stats.Queries++
+	if !ipspecial.Routable(server) {
+		n.stats.Unroutable++
+		n.mu.Unlock()
+		return nil, ErrTimeout
+	}
+	h, ok := n.endpoints[server]
+	if !ok {
+		n.stats.Unreachable++
+		n.mu.Unlock()
+		return nil, ErrTimeout
+	}
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil, ErrTimeout
+	}
+	n.mu.Unlock()
+
+	wire, err := msg.Pack()
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := dnswire.Unpack(wire)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.HandleDNS(ctx, parsed)
+	if err != nil || resp == nil {
+		n.count(func(s *Stats) { s.Errors++ })
+		return nil, ErrTimeout
+	}
+	respWire, err := resp.Pack()
+	if err != nil {
+		return nil, err
+	}
+	out, err := dnswire.Unpack(respWire)
+	if err != nil {
+		return nil, err
+	}
+	n.count(func(s *Stats) { s.Answered++ })
+	return out, nil
+}
+
+func (n *Network) count(f func(*Stats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+// --- behaviour endpoints: the broken servers observed in the wild scan ---
+
+// Unresponsive returns a handler that never answers; clients time out. This
+// models the silent lame delegations of §4.2 items 1–2.
+func Unresponsive() Handler {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		return nil, ErrTimeout
+	})
+}
+
+// StaticRCode returns a handler that answers every query with rcode and no
+// records — the REFUSED/SERVFAIL/NOTAUTH nameservers of §4.2.
+func StaticRCode(rcode dnswire.RCode) Handler {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		r.RCode = rcode
+		return r, nil
+	})
+}
+
+// NoEDNS wraps h and strips the OPT record from its responses, modelling the
+// pre-EDNS servers behind §4.2 item 6 ("Invalid Data": servers that neither
+// return FORMERR nor echo the OPT record).
+func NoEDNS(h Handler) Handler {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		resp, err := h.HandleDNS(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		resp.OPT = nil
+		if resp.RCode > 0xF {
+			resp.RCode &= 0xF
+		}
+		return resp, nil
+	})
+}
+
+// MismatchedQuestion wraps h and rewrites the question section of responses
+// to a different name, producing the "Mismatched question from the
+// authoritative server" condition (§4.2 item 6).
+func MismatchedQuestion(h Handler) Handler {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		resp, err := h.HandleDNS(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		for i := range resp.Question {
+			resp.Question[i].Name = dnswire.MustName("mismatched.invalid.")
+		}
+		return resp, nil
+	})
+}
+
+// Flaky alternates between h and broken on successive queries, modelling the
+// inconsistent resolutions of §4.2 item 12 (dual signature sets: NOERROR when
+// the valid pair is served, SERVFAIL otherwise).
+func Flaky(h, broken Handler) Handler {
+	var mu sync.Mutex
+	turn := 0
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		mu.Lock()
+		turn++
+		useBroken := turn%2 == 0
+		mu.Unlock()
+		if useBroken {
+			return broken.HandleDNS(ctx, q)
+		}
+		return h.HandleDNS(ctx, q)
+	})
+}
+
+// Slow wraps h with a fixed service delay, for latency experiments.
+func Slow(h Handler, d time.Duration) Handler {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+		return h.HandleDNS(ctx, q)
+	})
+}
+
+// DieAfter answers the first n queries with h and every later query with
+// then. It models the dying nameservers behind the paper's stale-answer
+// domains (§4.2 item 11): healthy when background traffic warmed resolver
+// caches, broken by the time of the scan.
+func DieAfter(n int, h, then Handler) Handler {
+	var mu sync.Mutex
+	served := 0
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		mu.Lock()
+		served++
+		alive := served <= n
+		mu.Unlock()
+		if alive {
+			return h.HandleDNS(ctx, q)
+		}
+		return then.HandleDNS(ctx, q)
+	})
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		r.AddEDE(9, "echo")
+		return r, nil
+	})
+}
+
+func TestQueryRoundTripsThroughWireFormat(t *testing.T) {
+	n := New(42)
+	addr := netip.MustParseAddr("198.18.9.1")
+	n.Register(addr, echoHandler())
+	q := dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA)
+	resp, err := n.Query(context.Background(), addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edes := resp.EDEs()
+	if len(edes) != 1 || edes[0].InfoCode != 9 || edes[0].ExtraText != "echo" {
+		t.Errorf("EDEs = %v", edes)
+	}
+}
+
+func TestQueryToUnregisteredTimesOut(t *testing.T) {
+	n := New(42)
+	_, err := n.Query(context.Background(), netip.MustParseAddr("198.18.9.2"),
+		dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != ErrTimeout {
+		t.Errorf("err = %v", err)
+	}
+	if st := n.Stats(); st.Unreachable != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(7)
+	addr := netip.MustParseAddr("198.18.9.3")
+	n.Register(addr, echoHandler())
+	n.SetLossRate(1.0)
+	_, err := n.Query(context.Background(), addr,
+		dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != ErrTimeout {
+		t.Errorf("err = %v with 100%% loss", err)
+	}
+	if st := n.Stats(); st.Lost != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	n := New(1)
+	addr := netip.MustParseAddr("198.18.9.4")
+	n.Register(addr, echoHandler())
+	n.Deregister(addr)
+	if _, err := n.Query(context.Background(), addr,
+		dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA)); err != ErrTimeout {
+		t.Errorf("err = %v after deregister", err)
+	}
+}
+
+func TestFlakyAlternates(t *testing.T) {
+	h := Flaky(echoHandler(), StaticRCode(dnswire.RCodeServFail))
+	ctx := context.Background()
+	q := dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA)
+	r1, _ := h.HandleDNS(ctx, q)
+	r2, _ := h.HandleDNS(ctx, q)
+	if r1.RCode == r2.RCode {
+		t.Errorf("flaky handler did not alternate: %s then %s", r1.RCode, r2.RCode)
+	}
+}
+
+func TestNoEDNSStripsOPT(t *testing.T) {
+	h := NoEDNS(echoHandler())
+	resp, err := h.HandleDNS(context.Background(),
+		dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OPT != nil {
+		t.Error("OPT survived NoEDNS")
+	}
+}
+
+func TestMismatchedQuestionRewrites(t *testing.T) {
+	h := MismatchedQuestion(echoHandler())
+	resp, err := h.HandleDNS(context.Background(),
+		dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Question[0].Name == dnswire.MustName("a.example") {
+		t.Error("question not rewritten")
+	}
+}
+
+func TestSlowRespectsContext(t *testing.T) {
+	h := Slow(echoHandler(), time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := h.HandleDNS(ctx, dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA)); err == nil {
+		t.Error("Slow ignored context cancellation")
+	}
+}
+
+func TestSlowDelivers(t *testing.T) {
+	h := Slow(echoHandler(), time.Millisecond)
+	resp, err := h.HandleDNS(context.Background(), dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != nil || len(resp.EDEs()) != 1 {
+		t.Errorf("resp=%v err=%v", resp, err)
+	}
+}
+
+func TestDieAfterSwitchesBehaviour(t *testing.T) {
+	h := DieAfter(2, echoHandler(), StaticRCode(dnswire.RCodeRefused))
+	ctx := context.Background()
+	q := dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA)
+	for i := 0; i < 2; i++ {
+		resp, err := h.HandleDNS(ctx, q)
+		if err != nil || resp.RCode != dnswire.RCodeNoError {
+			t.Fatalf("query %d: %v %v", i, resp, err)
+		}
+	}
+	resp, err := h.HandleDNS(ctx, q)
+	if err != nil || resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("after death: %v %v", resp, err)
+	}
+}
+
+func TestHandlerErrorCountsAsError(t *testing.T) {
+	n := New(3)
+	addr := netip.MustParseAddr("198.18.9.9")
+	n.Register(addr, Unresponsive())
+	if _, err := n.Query(context.Background(), addr,
+		dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA)); err != ErrTimeout {
+		t.Errorf("err = %v", err)
+	}
+	if st := n.Stats(); st.Errors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

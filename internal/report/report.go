@@ -1,0 +1,164 @@
+// Package report renders the reproduction's tables and figures as text:
+// the §4.2 per-code table, ASCII CDF plots for Figures 1 and 2, CSV series
+// for external plotting, and the agreement summaries of §3.3.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/scan"
+)
+
+// Section42Table renders the wild-scan per-code counts in the paper's §4.2
+// layout: code, name, domain count, share of the population.
+func Section42Table(agg *scan.Aggregate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wild scan: %d domains, %d (%.2f%%) triggered EDE codes\n",
+		agg.Total, agg.WithEDE, 100*float64(agg.WithEDE)/float64(agg.Total))
+	fmt.Fprintf(&b, "%d domains answered NOERROR while carrying EDEs\n\n", agg.NoErrorWithEDE)
+	fmt.Fprintf(&b, "%-4s %-34s %10s %9s\n", "EDE", "Name", "Domains", "Share")
+	for _, code := range agg.CodesByCount() {
+		count := agg.CodeCounts[code]
+		fmt.Fprintf(&b, "%-4d %-34s %10d %8.4f%%\n",
+			code, ede.Code(code).Name(), count, 100*float64(count)/float64(agg.Total))
+	}
+	return b.String()
+}
+
+// CDFPlot renders an ASCII CDF: x values against cumulative probability,
+// using a fixed-size grid. Multiple series share the plot, keyed by rune.
+type CDFSeries struct {
+	Label  string
+	Marker rune
+	Xs     []float64 // sample values (unsorted ok)
+}
+
+// CDFPlot draws the series into a width×height character grid with axis
+// legends — enough to eyeball the Figure 1/2 shapes in a terminal.
+func CDFPlot(title, xlabel string, width, height int, series ...CDFSeries) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	var xmax float64
+	for _, s := range series {
+		for _, x := range s.Xs {
+			if x > xmax {
+				xmax = x
+			}
+		}
+	}
+	if xmax == 0 {
+		xmax = 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, s := range series {
+		xs, ys := scan.CDF(s.Xs)
+		for i := range xs {
+			col := int(xs[i] / xmax * float64(width-1))
+			row := height - 1 - int(ys[i]*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		y := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      0%s%.4g\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", xmax))-1), xmax)
+	fmt.Fprintf(&b, "      x: %s\n", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "      %c = %s (n=%d)\n", s.Marker, s.Label, len(s.Xs))
+	}
+	return b.String()
+}
+
+// CSV renders aligned (x, y) series as CSV with one header row, for
+// regenerating the figures in real plotting tools.
+func CSV(header []string, rows [][]float64) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteString("\n")
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if v == math.Trunc(v) {
+				parts[i] = fmt.Sprintf("%d", int64(v))
+			} else {
+				parts[i] = fmt.Sprintf("%.6f", v)
+			}
+		}
+		b.WriteString(strings.Join(parts, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure1CSV renders the per-TLD ratio CDFs as CSV (series column selects
+// gTLD/ccTLD).
+func Figure1CSV(gtld, cctld []float64) string {
+	var rows [][]float64
+	gx, gy := scan.CDF(gtld)
+	for i := range gx {
+		rows = append(rows, []float64{0, gx[i], gy[i]})
+	}
+	cx, cy := scan.CDF(cctld)
+	for i := range cx {
+		rows = append(rows, []float64{1, cx[i], cy[i]})
+	}
+	return CSV([]string{"series(0=gTLD 1=ccTLD)", "ratio_percent", "cdf"}, rows)
+}
+
+// Figure2CSV renders the Tranco-rank CDF as CSV.
+func Figure2CSV(stats scan.TrancoStats) string {
+	var rows [][]float64
+	for i, r := range stats.Ranks {
+		rows = append(rows, []float64{float64(r), float64(i+1) / float64(len(stats.Ranks))})
+	}
+	return CSV([]string{"rank", "cdf"}, rows)
+}
+
+// AgreementSummary renders the §3.3 headline statistics.
+func AgreementSummary(stats ede.AgreementStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Test cases:            %d\n", stats.TotalCases)
+	fmt.Fprintf(&b, "Full agreement:        %d (%s)\n", stats.AgreeCases, strings.Join(stats.AgreeCaseList, ", "))
+	fmt.Fprintf(&b, "Disagreement ratio:    %.1f%%\n", 100*stats.DisagreeRatio)
+	fmt.Fprintf(&b, "Unique INFO-CODEs:     %d %v\n", stats.UniqueCodes, stats.UniqueCodeList)
+	systems := make([]string, 0, len(stats.PerSystemCodes))
+	for sys := range stats.PerSystemCodes {
+		systems = append(systems, sys)
+	}
+	sort.Strings(systems)
+	for _, sys := range systems {
+		fmt.Fprintf(&b, "  %-18s %d distinct codes\n", sys, stats.PerSystemCodes[sys])
+	}
+	return b.String()
+}
+
+// FixCurve renders the §4.2 item 2 fix-top-k nameserver curve.
+func FixCurve(conc scan.NSConcentration, steps []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Broken nameservers: %d, stranded domains: %d\n", len(conc.Counts), conc.TotalDomains)
+	fmt.Fprintf(&b, "%8s %12s\n", "fix top", "repaired")
+	for _, k := range steps {
+		fmt.Fprintf(&b, "%8d %11.1f%%\n", k, 100*conc.FixedShare(k))
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package resolver
+
+import (
+	"sync"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// cacheKey addresses one cached question.
+type cacheKey struct {
+	name  dnswire.Name
+	qtype dnswire.Type
+}
+
+// cachedAnswer is a completed resolution stored for reuse, including failed
+// ones (the error cache behind EDE 13).
+type cachedAnswer struct {
+	answer     []dnswire.RR
+	rcode      dnswire.RCode
+	secure     bool
+	conditions []Condition
+	storedAt   time.Time
+	expiresAt  time.Time
+}
+
+// Cache stores completed resolutions and validated zone keys. It implements
+// the behaviours the paper's §4.2 items 11–13 rely on: serve-stale (EDE 3,
+// 19) and cached errors (EDE 13).
+type Cache struct {
+	mu      sync.Mutex
+	answers map[cacheKey]*cachedAnswer
+	keys    map[dnswire.Name]*zoneKeys
+
+	// StaleWindow is how long past expiry an entry may still be served as
+	// stale data (RFC 8767 suggests 1–3 days).
+	StaleWindow time.Duration
+	// ErrorTTL is the negative/error cache lifetime.
+	ErrorTTL time.Duration
+}
+
+// zoneKeys is a validated key-establishment outcome for one zone.
+type zoneKeys struct {
+	keys       []dnswire.DNSKEY
+	secure     bool
+	conditions []Condition
+	detail     string
+	expiresAt  time.Time
+}
+
+// NewCache creates an empty cache with RFC 8767-ish defaults.
+func NewCache() *Cache {
+	return &Cache{
+		answers:     make(map[cacheKey]*cachedAnswer),
+		keys:        make(map[dnswire.Name]*zoneKeys),
+		StaleWindow: 24 * time.Hour,
+		ErrorTTL:    30 * time.Second,
+	}
+}
+
+// getAnswer returns a cached answer. fresh is false when the entry is past
+// its TTL but within the stale window.
+func (c *Cache) getAnswer(key cacheKey, now time.Time) (entry *cachedAnswer, fresh bool, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.answers[key]
+	if !found {
+		return nil, false, false
+	}
+	if now.Before(e.expiresAt) {
+		return e, true, true
+	}
+	if now.Before(e.expiresAt.Add(c.StaleWindow)) {
+		return e, false, true
+	}
+	delete(c.answers, key)
+	return nil, false, false
+}
+
+// putAnswer stores a resolution outcome with the given TTL.
+func (c *Cache) putAnswer(key cacheKey, e *cachedAnswer, ttl time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.expiresAt = e.storedAt.Add(ttl)
+	c.answers[key] = e
+}
+
+// getKeys returns the cached key establishment for zone.
+func (c *Cache) getKeys(zone dnswire.Name, now time.Time) (*zoneKeys, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k, ok := c.keys[zone]
+	if !ok || now.After(k.expiresAt) {
+		delete(c.keys, zone)
+		return nil, false
+	}
+	return k, true
+}
+
+func (c *Cache) putKeys(zone dnswire.Name, k *zoneKeys) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keys[zone] = k
+}
+
+// Len reports the number of cached answers (for tests and benchmarks).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.answers)
+}
+
+// Flush clears everything.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.answers = make(map[cacheKey]*cachedAnswer)
+	c.keys = make(map[dnswire.Name]*zoneKeys)
+}

@@ -1,0 +1,162 @@
+package resolver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnssec"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/zone"
+)
+
+// buildNSECWorld mirrors buildWorld but signs every zone with plain NSEC
+// denial — the configuration of the real root zone and several TLDs.
+func buildNSECWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{net: netsim.New(2)}
+	rootAddr := netip.MustParseAddr("198.18.11.1")
+	comAddr := netip.MustParseAddr("198.18.11.2")
+	w.exAddr = netip.MustParseAddr("198.18.11.3")
+
+	opts := zone.SignOptions{Inception: tInception, Expiration: tExpiration, DenialNSEC: true}
+
+	ex := zone.New(dnswire.MustName("nsec.example"), 300)
+	ex.AddNS(dnswire.MustName("ns1.nsec.example"), w.exAddr)
+	ex.AddAddress(dnswire.MustName("nsec.example"), netip.MustParseAddr("203.0.113.20"))
+	ex.AddAddress(dnswire.MustName("www.nsec.example"), netip.MustParseAddr("203.0.113.21"))
+	if err := ex.Sign(opts); err != nil {
+		t.Fatal(err)
+	}
+	w.example = ex
+
+	com := zone.New(dnswire.MustName("example"), 3600)
+	com.AddNS(dnswire.MustName("ns1.example"), comAddr)
+	com.AddDelegation(dnswire.MustName("nsec.example"), map[dnswire.Name][]netip.Addr{
+		dnswire.MustName("ns1.nsec.example"): {w.exAddr},
+	})
+	// An unsigned sibling, to exercise the NSEC no-DS proof.
+	com.AddDelegation(dnswire.MustName("plain.example"), map[dnswire.Name][]netip.Addr{
+		dnswire.MustName("ns1.plain.example"): {netip.MustParseAddr("198.18.11.4")},
+	})
+	exDS, err := ex.DS(dnssec.DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com.AddDS(dnswire.MustName("nsec.example"), exDS...)
+	if err := com.Sign(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	root := zone.New(dnswire.Root, 86400)
+	root.AddNS(dnswire.MustName("a.root-servers.net"), rootAddr)
+	root.AddDelegation(dnswire.MustName("example"), map[dnswire.Name][]netip.Addr{
+		dnswire.MustName("ns1.example"): {comAddr},
+	})
+	comDS, err := com.DS(dnssec.DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AddDS(dnswire.MustName("example"), comDS...)
+	if err := root.Sign(opts); err != nil {
+		t.Fatal(err)
+	}
+	anchor, err := root.DS(dnssec.DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.anchor = anchor
+	w.roots = []netip.Addr{rootAddr}
+
+	plain := zone.New(dnswire.MustName("plain.example"), 300)
+	plain.AddNS(dnswire.MustName("ns1.plain.example"), netip.MustParseAddr("198.18.11.4"))
+	plain.AddAddress(dnswire.MustName("plain.example"), netip.MustParseAddr("203.0.113.22"))
+
+	w.net.Register(rootAddr, authserver.New(root))
+	w.net.Register(comAddr, authserver.New(com))
+	w.net.Register(w.exAddr, authserver.New(ex))
+	w.net.Register(netip.MustParseAddr("198.18.11.4"), authserver.New(plain))
+	return w
+}
+
+func nsecResolver(w *world, p *Profile) *Resolver {
+	r := New(w.net, w.roots, w.anchor, p)
+	r.Now = func() time.Time { return time.Unix(tNow, 0) }
+	return r
+}
+
+func TestNSECChainValidates(t *testing.T) {
+	w := buildNSECWorld(t)
+	r := nsecResolver(w, ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("www.nsec.example"), dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeNoError || !res.Msg.AuthenticData {
+		t.Fatalf("rcode=%s ad=%t conditions=%v", res.Msg.RCode, res.Msg.AuthenticData, res.Conditions)
+	}
+}
+
+func TestNSECNXDomainValidates(t *testing.T) {
+	w := buildNSECWorld(t)
+	r := nsecResolver(w, ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("missing.nsec.example"), dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode=%s conditions=%v", res.Msg.RCode, res.Conditions)
+	}
+	if len(res.Codes()) != 0 {
+		t.Errorf("codes = %v for a valid NSEC denial", res.Codes())
+	}
+}
+
+func TestNSECNoDataValidates(t *testing.T) {
+	w := buildNSECWorld(t)
+	r := nsecResolver(w, ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("www.nsec.example"), dnswire.TypeMX)
+	if res.Msg.RCode != dnswire.RCodeNoError || len(res.Msg.Answer) != 0 {
+		t.Fatalf("rcode=%s answers=%d conditions=%v", res.Msg.RCode, len(res.Msg.Answer), res.Conditions)
+	}
+	if len(res.Codes()) != 0 {
+		t.Errorf("codes = %v for a valid NSEC NODATA", res.Codes())
+	}
+}
+
+func TestNSECInsecureDelegationProof(t *testing.T) {
+	w := buildNSECWorld(t)
+	r := nsecResolver(w, ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("plain.example"), dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeNoError || len(res.Msg.Answer) == 0 {
+		t.Fatalf("rcode=%s answers=%d conditions=%v", res.Msg.RCode, len(res.Msg.Answer), res.Conditions)
+	}
+	if res.Msg.AuthenticData {
+		t.Error("AD set for an insecure delegation")
+	}
+	found := false
+	for _, c := range res.Conditions {
+		if c == ConditionInsecure {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("conditions = %v, want insecure-delegation via NSEC proof", res.Conditions)
+	}
+}
+
+func TestNSECCorruptedDenialIsBogus(t *testing.T) {
+	w := buildNSECWorld(t)
+	// Corrupt every NSEC signature in the child zone.
+	for _, name := range w.example.Names() {
+		if len(w.example.Sigs(name, dnswire.TypeNSEC)) > 0 {
+			w.example.CorruptSigs(name, dnswire.TypeNSEC, nil)
+		}
+	}
+	r := nsecResolver(w, ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("missing.nsec.example"), dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode=%s conditions=%v", res.Msg.RCode, res.Conditions)
+	}
+	codes := res.Codes()
+	if len(codes) != 1 || codes[0] != 6 {
+		t.Errorf("codes = %v, want [6]", codes)
+	}
+}

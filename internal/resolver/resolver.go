@@ -1,0 +1,482 @@
+package resolver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+)
+
+// Resolver is a validating iterative resolver with EDE reporting.
+type Resolver struct {
+	Net     *netsim.Network
+	Roots   []netip.Addr
+	Profile *Profile
+	// TrustAnchor is the DS set for the root zone.
+	TrustAnchor []dnswire.DS
+	// Now is the validation clock (injectable for deterministic tests).
+	Now func() time.Time
+	// MaxSteps bounds referral chasing per resolution; exceeding it is the
+	// "iteration limit exceeded" condition (§4.2 item 14).
+	MaxSteps int
+	// MaxCNAME bounds CNAME chain length.
+	MaxCNAME int
+	// Retries is how many times each server is tried before moving on
+	// (default 1 — the single-shot behaviour of a zdns-style scanner;
+	// interactive resolvers typically retry lost datagrams).
+	Retries int
+	// Trace records per-step resolution events on the Result (a dig +trace
+	// equivalent); off by default to keep scans allocation-free.
+	Trace bool
+
+	Cache *Cache
+
+	idCounter atomic.Uint32
+	// QueryCount counts outgoing queries (for the §5 throughput analysis).
+	QueryCount atomic.Uint64
+}
+
+// New builds a resolver with the given vantage.
+func New(net *netsim.Network, roots []netip.Addr, anchor []dnswire.DS, profile *Profile) *Resolver {
+	return &Resolver{
+		Net:         net,
+		Roots:       roots,
+		Profile:     profile,
+		TrustAnchor: anchor,
+		Now:         time.Now,
+		MaxSteps:    24,
+		MaxCNAME:    8,
+		Retries:     1,
+		Cache:       NewCache(),
+	}
+}
+
+// Result is a completed client resolution.
+type Result struct {
+	// Msg is the client-facing response with RCODE, answer, AD bit, and the
+	// profile's EDE options attached.
+	Msg *dnswire.Message
+	// Conditions are the raw derived conditions (profile-independent facts
+	// plus support-dependent ones), for analysis.
+	Conditions []Condition
+	// Secure reports whether the whole chain validated.
+	Secure bool
+	// Details holds per-condition diagnostic text (EXTRA-TEXT source).
+	Details map[Condition]string
+	// Trace holds per-step events when the resolver's Trace flag is set.
+	Trace []TraceStep
+}
+
+// TraceStep is one resolution event.
+type TraceStep struct {
+	Server  netip.Addr
+	QName   dnswire.Name
+	QType   dnswire.Type
+	Outcome string
+}
+
+func (t TraceStep) String() string {
+	return fmt.Sprintf("%s %s @%s -> %s", t.QName, t.QType, t.Server, t.Outcome)
+}
+
+// Codes returns the EDE codes attached to the response.
+func (r *Result) Codes() []uint16 { return r.Msg.EDECodes() }
+
+// resolution carries the working state of one client query.
+type resolution struct {
+	r       *Resolver
+	ctx     context.Context
+	conds   []Condition
+	details map[Condition]string
+	steps   int
+	trace   []TraceStep
+}
+
+func (st *resolution) traceEvent(server netip.Addr, qname dnswire.Name, qtype dnswire.Type, outcome string) {
+	if !st.r.Trace {
+		return
+	}
+	st.trace = append(st.trace, TraceStep{Server: server, QName: qname, QType: qtype, Outcome: outcome})
+}
+
+func (st *resolution) addCond(c Condition, detail string) {
+	for _, have := range st.conds {
+		if have == c {
+			return
+		}
+	}
+	st.conds = append(st.conds, c)
+	if detail != "" {
+		st.details[c] = detail
+	}
+}
+
+// Resolve answers (qname, qtype) for a client with DO set. It never returns
+// a Go error: all failures are encoded in the response message, as a real
+// resolver would.
+func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) *Result {
+	st := &resolution{r: r, ctx: ctx, details: make(map[Condition]string)}
+	now := r.Now()
+
+	key := cacheKey{qname, qtype}
+	if entry, fresh, ok := r.Cache.getAnswer(key, now); ok {
+		if fresh {
+			return r.finishFromCache(st, qname, qtype, entry, nil)
+		}
+		// Expired: retry live, fall back to stale below.
+	}
+
+	answer, rcode, secure := st.resolve(qname, qtype, 0)
+
+	class := worstClass(st.conds)
+	if class == ClassLame || class == ClassBogus {
+		// Serve-stale: a failed resolution can fall back to expired cache
+		// content when the profile supports RFC 8767.
+		if r.Profile.ServeStale {
+			if entry, fresh, ok := r.Cache.getAnswer(key, now); ok && !fresh {
+				staleCond := ConditionStaleServed
+				if entry.rcode == dnswire.RCodeNXDomain {
+					staleCond = ConditionStaleNXServed
+				}
+				return r.finishFromCache(st, qname, qtype, entry, []Condition{staleCond})
+			}
+		}
+		// Error cache (EDE 13 on subsequent hits).
+		r.Cache.putAnswer(key, &cachedAnswer{
+			rcode: dnswire.RCodeServFail, conditions: append([]Condition(nil), st.conds...),
+			storedAt: now,
+		}, r.Cache.ErrorTTL)
+	} else if len(answer) > 0 || rcode == dnswire.RCodeNXDomain {
+		ttl := answerTTL(answer)
+		r.Cache.putAnswer(key, &cachedAnswer{
+			answer: answer, rcode: rcode, secure: secure,
+			conditions: append([]Condition(nil), st.conds...), storedAt: now,
+		}, ttl)
+	}
+
+	return r.finish(st, qname, qtype, answer, rcode, secure)
+}
+
+// finishFromCache synthesizes a response from a cache entry, tagging cached
+// errors and stale data.
+func (r *Resolver) finishFromCache(st *resolution, qname dnswire.Name, qtype dnswire.Type, e *cachedAnswer, extra []Condition) *Result {
+	// Keep conditions observed during this (possibly failed) live attempt —
+	// a stale answer still reports why the authorities were unreachable —
+	// and merge in what was known when the entry was cached.
+	for _, c := range e.conditions {
+		st.addCond(c, "")
+	}
+	for _, c := range extra {
+		st.addCond(c, "")
+	}
+	if e.rcode == dnswire.RCodeServFail && len(extra) == 0 {
+		st.addCond(ConditionCachedError, "")
+	}
+	return r.finish(st, qname, qtype, e.answer, e.rcode, e.secure)
+}
+
+// finish builds the client response, applying the profile's EDE mapping.
+func (r *Resolver) finish(st *resolution, qname dnswire.Name, qtype dnswire.Type, answer []dnswire.RR, rcode dnswire.RCode, secure bool) *Result {
+	msg := &dnswire.Message{
+		ID:                 uint16(r.idCounter.Add(1)),
+		Response:           true,
+		RecursionDesired:   true,
+		RecursionAvailable: true,
+		RCode:              rcode,
+		Question:           []dnswire.Question{{Name: qname, Type: qtype, Class: dnswire.ClassIN}},
+		OPT:                &dnswire.OPT{UDPSize: 1232, DO: true},
+	}
+	class := worstClass(st.conds)
+	switch class {
+	case ClassBogus, ClassLame:
+		msg.RCode = dnswire.RCodeServFail
+	default:
+		msg.Answer = answer
+		msg.AuthenticData = secure && class == ClassOK || class == ClassAdvisory && secure
+	}
+
+	codes := r.Profile.Codes(st.conds)
+	for _, code := range codes {
+		text := ""
+		if r.Profile.ExtraText {
+			text = r.extraTextFor(st, code)
+		}
+		msg.AddEDE(uint16(code), text)
+	}
+	return &Result{Msg: msg, Conditions: st.conds, Secure: secure, Details: st.details, Trace: st.trace}
+}
+
+// extraTextFor finds the detail string backing an emitted code.
+func (r *Resolver) extraTextFor(st *resolution, code interface{ String() string }) string {
+	for _, c := range st.conds {
+		for _, mapped := range r.Profile.Map[c] {
+			if mapped.String() == code.String() {
+				if d, ok := st.details[c]; ok {
+					return d
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// worstClass picks the response-determining class across conditions.
+func worstClass(conds []Condition) Class {
+	rank := func(c Class) int {
+		switch c {
+		case ClassLame:
+			return 5
+		case ClassBogus:
+			return 4
+		case ClassDegraded:
+			return 3
+		case ClassInsecure:
+			return 2
+		case ClassAdvisory:
+			return 1
+		default:
+			return 0
+		}
+	}
+	worst := ClassOK
+	for _, c := range conds {
+		if rank(ClassOf(c)) > rank(worst) {
+			worst = ClassOf(c)
+		}
+	}
+	// Stale data rescues lame resolutions: if stale was served, the
+	// degraded class wins over lame.
+	for _, c := range conds {
+		if c == ConditionStaleServed || c == ConditionStaleNXServed {
+			return ClassDegraded
+		}
+	}
+	return worst
+}
+
+func answerTTL(rrs []dnswire.RR) time.Duration {
+	ttl := uint32(300)
+	for _, rr := range rrs {
+		if rr.TTL < ttl {
+			ttl = rr.TTL
+		}
+	}
+	if ttl == 0 {
+		ttl = 1
+	}
+	return time.Duration(ttl) * time.Second
+}
+
+// resolve runs the iterative loop. It returns the answer section records,
+// the upstream RCODE, and whether the full chain validated. Failures are
+// recorded as conditions on st.
+func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth int) (answer []dnswire.RR, rcode dnswire.RCode, secure bool) {
+	r := st.r
+	zoneName := dnswire.Root
+	servers := r.Roots
+	dsForZone := r.TrustAnchor
+	chainSecure := len(r.TrustAnchor) > 0
+
+	for {
+		st.steps++
+		if st.steps > r.MaxSteps {
+			st.addCond(ConditionIterationLimit, "iteration limit exceeded")
+			return nil, dnswire.RCodeServFail, false
+		}
+
+		resp, srvAddr, ok := st.queryServers(servers, qname, qtype, chainSecure && len(dsForZone) > 0)
+		if !ok {
+			return nil, dnswire.RCodeServFail, false
+		}
+
+		if child, isReferral := referralChild(resp, zoneName, qname); isReferral {
+			childDS, childSecure := st.evaluateDelegation(resp, zoneName, dsForZone, chainSecure, child, servers)
+			if bogusAbort(st.conds) {
+				return nil, dnswire.RCodeServFail, false
+			}
+			next := st.serversForReferral(resp, child, cnameDepth)
+			if len(next) == 0 {
+				// Nameserver names resolved to nothing usable: lame.
+				st.addCond(ConditionUnreachableAllTimeout, "")
+				return nil, dnswire.RCodeServFail, false
+			}
+			zoneName, servers, dsForZone, chainSecure = child, next, childDS, childSecure
+			continue
+		}
+
+		// Authoritative answer or negative from zoneName's servers.
+		return st.handleAuthoritative(resp, srvAddr, zoneName, dsForZone, chainSecure, qname, qtype, cnameDepth)
+	}
+}
+
+// bogusAbort reports whether a bogus-class condition has been recorded.
+func bogusAbort(conds []Condition) bool {
+	for _, c := range conds {
+		if ClassOf(c) == ClassBogus {
+			return true
+		}
+	}
+	return false
+}
+
+// referralChild decides whether resp is a referral out of zoneName and
+// returns the child zone.
+func referralChild(resp *dnswire.Message, zoneName, qname dnswire.Name) (dnswire.Name, bool) {
+	if len(resp.Answer) > 0 || resp.RCode == dnswire.RCodeNXDomain {
+		return "", false
+	}
+	for _, rr := range resp.Authority {
+		if rr.Type() != dnswire.TypeNS {
+			continue
+		}
+		child := rr.Name
+		if child != zoneName && child.IsSubdomainOf(zoneName) && qname.IsSubdomainOf(child) {
+			return child, true
+		}
+	}
+	return "", false
+}
+
+// queryServers tries each server until one produces a usable response.
+// When every server fails it records the dominant failure conditions and
+// returns ok=false. expectSigned notes whether the zone being queried has a
+// DS (so total failure also implies an unobtainable DNSKEY).
+func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qtype dnswire.Type, expectSigned bool) (*dnswire.Message, netip.Addr, bool) {
+	r := st.r
+	var sawRefused, sawServfail, sawNotAuth, sawInvalid bool
+	var lastAddr netip.Addr
+	var lastRCode dnswire.RCode
+	var invalidAddr netip.Addr
+
+	retries := r.Retries
+	if retries < 1 {
+		retries = 1
+	}
+	for _, addr := range servers {
+		var resp *dnswire.Message
+		var err error
+		for attempt := 0; attempt < retries; attempt++ {
+			q := dnswire.NewQuery(uint16(r.idCounter.Add(1)), qname, qtype)
+			q.RecursionDesired = false
+			r.QueryCount.Add(1)
+			ctx, cancel := context.WithTimeout(st.ctx, 2*time.Second)
+			resp, err = r.Net.Query(ctx, addr, q)
+			cancel()
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			st.traceEvent(addr, qname, qtype, "timeout")
+			continue // timeout on every attempt
+		}
+		// Sanity: echoed question must match; EDNS must be mirrored.
+		if len(resp.Question) == 0 || resp.Question[0].Name != qname || resp.OPT == nil {
+			sawInvalid = true
+			invalidAddr = addr
+			st.traceEvent(addr, qname, qtype, "invalid response (mismatched question or missing OPT)")
+			continue
+		}
+		switch resp.RCode {
+		case dnswire.RCodeRefused:
+			sawRefused = true
+			lastAddr, lastRCode = addr, resp.RCode
+			st.traceEvent(addr, qname, qtype, "REFUSED")
+		case dnswire.RCodeServFail:
+			sawServfail = true
+			lastAddr, lastRCode = addr, resp.RCode
+		case dnswire.RCodeNotAuth:
+			sawNotAuth = true
+			lastAddr, lastRCode = addr, resp.RCode
+		case dnswire.RCodeFormErr, dnswire.RCodeNotImp:
+			sawInvalid = true
+			invalidAddr = addr
+		default:
+			if st.r.Trace {
+				st.traceEvent(addr, qname, qtype, fmt.Sprintf("%s (%d answers, %d authority)", resp.RCode, len(resp.Answer), len(resp.Authority)))
+			}
+			if sawRefused || sawServfail {
+				// A sibling nameserver failed before this one answered:
+				// resolution proceeds, with a Network Error advisory
+				// (§4.2 item 2's EDE-23-without-22 cases).
+				st.addCond(ConditionUpstreamError,
+					fmt.Sprintf("%s:53 rcode=%s for %s %s", lastAddr, lastRCode, qname, qtype))
+			}
+			return resp, addr, true
+		}
+	}
+
+	// Total failure: derive the dominant reachability condition, with the
+	// Cloudflare-style nameserver detail for EXTRA-TEXT.
+	switch {
+	case sawRefused:
+		st.addCond(ConditionUnreachableRefused,
+			fmt.Sprintf("%s:53 rcode=%s for %s %s", lastAddr, lastRCode, qname, qtype))
+	case sawServfail:
+		st.addCond(ConditionUnreachableServfail,
+			fmt.Sprintf("%s:53 rcode=%s for %s %s", lastAddr, lastRCode, qname, qtype))
+	case sawNotAuth:
+		st.addCond(ConditionNotAuthAll, "")
+	case sawInvalid:
+		st.addCond(ConditionInvalidData,
+			fmt.Sprintf("Mismatched question from the authoritative server %s", invalidAddr))
+	default:
+		st.addCond(ConditionUnreachableAllTimeout, "")
+	}
+	if expectSigned && !sawInvalid {
+		st.addCond(ConditionDNSKEYUnobtainable, "")
+	}
+	return nil, netip.Addr{}, false
+}
+
+// serversForReferral extracts glue addresses for the child's nameservers,
+// resolving out-of-bailiwick hosts as needed.
+func (st *resolution) serversForReferral(resp *dnswire.Message, child dnswire.Name, depth int) []netip.Addr {
+	var hosts []dnswire.Name
+	for _, rr := range resp.Authority {
+		if ns, ok := rr.Data.(dnswire.NS); ok && rr.Name == child {
+			hosts = append(hosts, ns.Host)
+		}
+	}
+	var addrs []netip.Addr
+	glued := make(map[dnswire.Name]bool)
+	for _, rr := range resp.Additional {
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			addrs = append(addrs, d.Addr)
+			glued[rr.Name] = true
+		case dnswire.AAAA:
+			addrs = append(addrs, d.Addr)
+			glued[rr.Name] = true
+		}
+	}
+	if len(addrs) > 0 {
+		return addrs
+	}
+	// Out-of-bailiwick nameservers: resolve their addresses with a bounded
+	// sub-resolution that shares the step budget.
+	if depth >= st.r.MaxCNAME {
+		return nil
+	}
+	for _, host := range hosts {
+		if glued[host] {
+			continue
+		}
+		sub := &resolution{r: st.r, ctx: st.ctx, details: make(map[Condition]string), steps: st.steps}
+		ans, _, _ := sub.resolve(host, dnswire.TypeA, depth+1)
+		st.steps = sub.steps
+		for _, rr := range ans {
+			if a, ok := rr.Data.(dnswire.A); ok {
+				addrs = append(addrs, a.Addr)
+			}
+		}
+		if len(addrs) >= 2 {
+			break
+		}
+	}
+	return addrs
+}

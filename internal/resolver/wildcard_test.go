@@ -1,0 +1,82 @@
+package resolver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/zone"
+)
+
+// The wildcard world reuses buildWorld's chain and adds *.example.com.
+func buildWildcardWorld(t *testing.T) *world {
+	t.Helper()
+	w := buildWorld(t)
+	w.example.Add(dnswire.RR{Name: dnswire.MustName("*.example.com"), Class: dnswire.ClassIN,
+		TTL: 300, Data: dnswire.A{Addr: netip.MustParseAddr("203.0.113.77")}})
+	// Re-sign so the wildcard RRset gets its RRSIG and the NSEC3 chain
+	// includes the wildcard owner.
+	if err := w.example.Sign(zone.SignOptions{
+		Inception: tInception, Expiration: tExpiration,
+		KSK: w.example.KSKs[0], ZSK: w.example.ZSKs[0],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWildcardExpansionValidates(t *testing.T) {
+	w := buildWildcardWorld(t)
+	r := w.resolver(ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("anything.example.com"), dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeNoError {
+		t.Fatalf("rcode=%s conditions=%v", res.Msg.RCode, res.Conditions)
+	}
+	if !res.Msg.AuthenticData {
+		t.Errorf("wildcard answer not validated: conditions=%v", res.Conditions)
+	}
+	var addr string
+	for _, rr := range res.Msg.Answer {
+		if a, ok := rr.Data.(dnswire.A); ok {
+			addr = a.Addr.String()
+			if rr.Name != dnswire.MustName("anything.example.com") {
+				t.Errorf("answer owner = %s, want the query name", rr.Name)
+			}
+		}
+	}
+	if addr != "203.0.113.77" {
+		t.Errorf("answer address = %q", addr)
+	}
+}
+
+func TestWildcardWithoutProofIsBogus(t *testing.T) {
+	w := buildWildcardWorld(t)
+	// Break the server: strip the NSEC3 cover from wildcard responses by
+	// removing the chain. The (signed) wildcard expansion then arrives
+	// without the non-existence proof — the substitution-attack shape.
+	w.example.RemoveNSEC3Records()
+	r := w.resolver(ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("anything.example.com"), dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode=%s conditions=%v, want SERVFAIL", res.Msg.RCode, res.Conditions)
+	}
+	codes := res.Codes()
+	if len(codes) != 1 || codes[0] != 6 {
+		t.Errorf("codes = %v, want [6] (DNSSEC Bogus)", codes)
+	}
+}
+
+func TestExactNameBeatsWildcard(t *testing.T) {
+	w := buildWildcardWorld(t)
+	r := w.resolver(ProfileCloudflare())
+	res := r.Resolve(context.Background(), dnswire.MustName("www.example.com"), dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeNoError || !res.Msg.AuthenticData {
+		t.Fatalf("rcode=%s ad=%t", res.Msg.RCode, res.Msg.AuthenticData)
+	}
+	for _, rr := range res.Msg.Answer {
+		if a, ok := rr.Data.(dnswire.A); ok && a.Addr.String() == "203.0.113.77" {
+			t.Error("wildcard shadowed the exact record")
+		}
+	}
+}

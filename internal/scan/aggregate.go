@@ -1,0 +1,273 @@
+package scan
+
+import (
+	"sort"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/population"
+)
+
+// Aggregate is the §4 analysis over a completed scan.
+type Aggregate struct {
+	Total int
+	// WithEDE counts domains triggering at least one EDE (the 17.7M).
+	WithEDE int
+	// CodeCounts counts domains per INFO-CODE (a domain with several codes
+	// counts once per code), §4.2's per-item numbers.
+	CodeCounts map[uint16]int
+	// NoErrorWithEDE counts NOERROR responses carrying EDEs (§4.3's 12.2k).
+	NoErrorWithEDE int
+	// RCodes tallies response codes.
+	RCodes map[dnswire.RCode]int
+}
+
+// Aggregate computes the global counters.
+func Summarize(results []Result) *Aggregate {
+	a := &Aggregate{
+		CodeCounts: make(map[uint16]int),
+		RCodes:     make(map[dnswire.RCode]int),
+	}
+	for _, r := range results {
+		a.Total++
+		a.RCodes[r.RCode]++
+		if !r.HasEDE() {
+			continue
+		}
+		a.WithEDE++
+		if r.RCode == dnswire.RCodeNoError {
+			a.NoErrorWithEDE++
+		}
+		seen := map[uint16]bool{}
+		for _, c := range r.Codes {
+			if !seen[c] {
+				seen[c] = true
+				a.CodeCounts[c]++
+			}
+		}
+	}
+	return a
+}
+
+// CodesByCount returns the observed INFO-CODEs sorted by descending domain
+// count — the §4.2 presentation order.
+func (a *Aggregate) CodesByCount() []uint16 {
+	codes := make([]uint16, 0, len(a.CodeCounts))
+	for c := range a.CodeCounts {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		if a.CodeCounts[codes[i]] != a.CodeCounts[codes[j]] {
+			return a.CodeCounts[codes[i]] > a.CodeCounts[codes[j]]
+		}
+		return codes[i] < codes[j]
+	})
+	return codes
+}
+
+// TLDRatio is one TLD's misconfiguration ratio (Figure 1 input).
+type TLDRatio struct {
+	TLD     string
+	CC      bool
+	Total   int
+	WithEDE int
+}
+
+// Ratio returns the percentage of the TLD's domains that trigger EDEs.
+func (t TLDRatio) Ratio() float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	return 100 * float64(t.WithEDE) / float64(t.Total)
+}
+
+// PerTLD joins scan results with the population's TLD table.
+func PerTLD(results []Result, pop *population.Population) []TLDRatio {
+	byTLD := make(map[string]*TLDRatio)
+	index := make(map[dnswire.Name]*population.Domain, len(pop.Domains))
+	for _, d := range pop.Domains {
+		index[d.Name] = d
+	}
+	for _, t := range pop.TLDs {
+		byTLD[t.Label] = &TLDRatio{TLD: t.Label, CC: t.CC}
+	}
+	for _, r := range results {
+		d, ok := index[r.Domain]
+		if !ok {
+			continue
+		}
+		row := byTLD[d.TLD.Label]
+		row.Total++
+		if r.HasEDE() {
+			row.WithEDE++
+		}
+	}
+	out := make([]TLDRatio, 0, len(byTLD))
+	for _, row := range byTLD {
+		if row.Total > 0 {
+			out = append(out, *row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TLD < out[j].TLD })
+	return out
+}
+
+// CDF returns cumulative-distribution points (x sorted ascending, y in
+// [0,1]) for a sample.
+func CDF(sample []float64) (xs, ys []float64) {
+	if len(sample) == 0 {
+		return nil, nil
+	}
+	xs = append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	ys = make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = float64(i+1) / float64(len(xs))
+	}
+	return xs, ys
+}
+
+// Figure1 computes the paper's Figure 1: the CDFs of per-TLD EDE ratios for
+// gTLDs and ccTLDs.
+func Figure1(rows []TLDRatio) (gtldRatios, cctldRatios []float64) {
+	for _, r := range rows {
+		if r.CC {
+			cctldRatios = append(cctldRatios, r.Ratio())
+		} else {
+			gtldRatios = append(gtldRatios, r.Ratio())
+		}
+	}
+	return gtldRatios, cctldRatios
+}
+
+// ZeroRatioShare returns the fraction of TLDs with no misconfigured domain
+// (the paper: 38% of gTLDs, 4% of ccTLDs).
+func ZeroRatioShare(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	zero := 0
+	for _, r := range ratios {
+		if r == 0 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(ratios))
+}
+
+// FullRatioCount returns the number of TLDs where every domain triggers an
+// EDE (the paper: 11 gTLDs + 2 ccTLDs).
+func FullRatioCount(ratios []float64) int {
+	n := 0
+	for _, r := range ratios {
+		if r >= 100 {
+			n++
+		}
+	}
+	return n
+}
+
+// Figure2 computes the Tranco-rank analysis (§4.3): the ranks of
+// EDE-triggering domains within the popularity list, the overlap size, and
+// how many of those resolved NOERROR.
+type TrancoStats struct {
+	ListSize int
+	// Overlap is the number of ranked domains that trigger EDEs (22.1k).
+	Overlap int
+	// NoError of those resolved with NOERROR (12.2k).
+	NoError int
+	// Ranks of the overlapping domains, ascending (Figure 2's CDF x-data).
+	Ranks []int
+}
+
+// Figure2 joins scan results with the population ranking.
+func Figure2(results []Result, pop *population.Population) TrancoStats {
+	index := make(map[dnswire.Name]*population.Domain, len(pop.Domains))
+	for _, d := range pop.Domains {
+		index[d.Name] = d
+	}
+	stats := TrancoStats{ListSize: pop.TrancoSize}
+	for _, r := range results {
+		d, ok := index[r.Domain]
+		if !ok || d.Rank == 0 || !r.HasEDE() {
+			continue
+		}
+		stats.Overlap++
+		if r.RCode == dnswire.RCodeNoError {
+			stats.NoError++
+		}
+		stats.Ranks = append(stats.Ranks, d.Rank)
+	}
+	sort.Ints(stats.Ranks)
+	return stats
+}
+
+// NSConcentration reproduces §4.2 item 2: malfunctioning nameservers sorted
+// by the number of domains they strand, plus the fix-top-k curve.
+type NSConcentration struct {
+	// Counts are per-nameserver stranded-domain counts, descending.
+	Counts []int
+	// TotalDomains stranded across all broken nameservers.
+	TotalDomains int
+}
+
+// NSFromPopulation reads the assignment out of the generated population.
+func NSFromPopulation(pop *population.Population) NSConcentration {
+	var c NSConcentration
+	for _, ns := range pop.BrokenNS {
+		if ns.Domains > 0 {
+			c.Counts = append(c.Counts, ns.Domains)
+			c.TotalDomains += ns.Domains
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(c.Counts)))
+	return c
+}
+
+// FixedShare returns the fraction of stranded domains repaired by fixing the
+// k busiest nameservers (the paper: fixing 20k of 293k repairs >81%).
+func (c NSConcentration) FixedShare(k int) float64 {
+	if c.TotalDomains == 0 {
+		return 0
+	}
+	fixed := 0
+	for i := 0; i < k && i < len(c.Counts); i++ {
+		fixed += c.Counts[i]
+	}
+	return float64(fixed) / float64(c.TotalDomains)
+}
+
+// ProfileComparison is the multi-vendor wild-scan extension: the paper
+// scanned only Cloudflare DNS (§4.1); re-running the same population under
+// every vendor profile quantifies how much of the wild picture each
+// implementation's EDE support would have surfaced.
+type ProfileComparison struct {
+	Profile string
+	// DomainsWithEDE is how many scanned domains carried any EDE.
+	DomainsWithEDE int
+	// DistinctCodes counts distinct INFO-CODEs observed.
+	DistinctCodes int
+	// Servfails counts failed resolutions (EDE or not): detection parity —
+	// validators fail the same domains even when they stay silent.
+	Servfails int
+}
+
+// CompareProfiles summarizes per-profile scan outcomes.
+func CompareProfiles(byProfile map[string][]Result) []ProfileComparison {
+	out := make([]ProfileComparison, 0, len(byProfile))
+	for name, results := range byProfile {
+		agg := Summarize(results)
+		out = append(out, ProfileComparison{
+			Profile:        name,
+			DomainsWithEDE: agg.WithEDE,
+			DistinctCodes:  len(agg.CodeCounts),
+			Servfails:      agg.RCodes[dnswire.RCodeServFail],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DomainsWithEDE != out[j].DomainsWithEDE {
+			return out[i].DomainsWithEDE > out[j].DomainsWithEDE
+		}
+		return out[i].Profile < out[j].Profile
+	})
+	return out
+}

@@ -1,0 +1,395 @@
+package testbed
+
+import (
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnssec"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ipspecial"
+	"github.com/extended-dns-errors/edelab/internal/zone"
+)
+
+// System names, in the paper's Table 4 column order.
+var Systems = []string{
+	"BIND 9.19.9", "Unbound 1.16.2", "PowerDNS 4.8.2", "Knot 5.6.0",
+	"Cloudflare", "Quad9", "OpenDNS",
+}
+
+// caseSpec declares one Table 3 subdomain.
+type caseSpec struct {
+	label       string
+	group       int
+	description string
+
+	signed          bool
+	algorithm       dnssec.Algorithm
+	rsaBits         int
+	nsec3Iterations uint16
+	omitDS          bool
+	queryNX         bool
+	acl             authserver.ACLMode
+	glue            ipspecial.Category
+	mutateDS        func(*dnswire.DS)
+	build           builder
+
+	// expected transcribes the paper's Table 4 row: EDE codes per system.
+	expected map[string][]uint16
+}
+
+// expect builds the expectation map from the seven Table 4 columns.
+func expect(bind, unbound, pdns, knot, cf, quad9, odns []uint16) map[string][]uint16 {
+	return map[string][]uint16{
+		"BIND 9.19.9":    bind,
+		"Unbound 1.16.2": unbound,
+		"PowerDNS 4.8.2": pdns,
+		"Knot 5.6.0":     knot,
+		"Cloudflare":     cf,
+		"Quad9":          quad9,
+		"OpenDNS":        odns,
+	}
+}
+
+var none []uint16
+
+func codes(cs ...uint16) []uint16 { return cs }
+
+// caseSpecs returns all 63 subdomains of Tables 2 and 3.
+func caseSpecs() []caseSpec {
+	specs := []caseSpec{
+		// --- Group 1: control ---
+		{label: "valid", group: 1, signed: true,
+			description: "The correctly configured control domain",
+			expected:    expect(none, none, none, none, none, none, none)},
+
+		// --- Group 2: DS misconfigurations ---
+		{label: "no-ds", group: 2, signed: true, omitDS: true,
+			description: "The subdomain is correctly signed but no DS record was published at the parent zone",
+			expected:    expect(none, none, none, none, none, none, none)},
+		{label: "ds-bad-tag", group: 2, signed: true,
+			description: "The key tag field of the DS record at the parent zone does not correspond to the KSK DNSKEY ID at the child zone",
+			mutateDS:    func(ds *dnswire.DS) { ds.KeyTag++ },
+			expected:    expect(none, codes(9), codes(9), codes(6), codes(9), codes(9), codes(6))},
+		{label: "ds-bad-key-algo", group: 2, signed: true,
+			description: "The algorithm field of the DS record at the parent zone does not correspond to the KSK DNSKEY algorithm at the child zone",
+			mutateDS:    func(ds *dnswire.DS) { ds.Algorithm = uint8(dnssec.AlgECDSAP384SHA384) },
+			expected:    expect(none, codes(9), codes(9), codes(6), codes(9), codes(9), codes(6))},
+		{label: "ds-unassigned-key-algo", group: 2, signed: true,
+			description: "The algorithm value of the DS record at the parent zone is unassigned (100)",
+			mutateDS:    func(ds *dnswire.DS) { ds.Algorithm = uint8(dnssec.AlgUnassigned) },
+			expected:    expect(none, none, none, codes(0), codes(9), none, codes(6))},
+		{label: "ds-reserved-key-algo", group: 2, signed: true,
+			description: "The algorithm value of the DS record at the parent zone is reserved (200)",
+			mutateDS:    func(ds *dnswire.DS) { ds.Algorithm = uint8(dnssec.AlgReserved) },
+			expected:    expect(none, none, none, codes(0), codes(1), none, codes(6))},
+		{label: "ds-unassigned-digest-algo", group: 2, signed: true,
+			description: "The digest algorithm value of the DS record at the parent zone is unassigned (100)",
+			mutateDS:    func(ds *dnswire.DS) { ds.DigestType = 100 },
+			expected:    expect(none, none, none, codes(0), codes(2), none, none)},
+		{label: "ds-bogus-digest-value", group: 2, signed: true,
+			description: "The digest value of the DS record at the parent zone does not correspond to the KSK DNSKEY at the child zone",
+			mutateDS:    func(ds *dnswire.DS) { ds.Digest[0] ^= 0xFF },
+			expected:    expect(none, codes(9), codes(9), codes(6), codes(6), codes(9), codes(6))},
+
+		// --- Group 3: RRSIG misconfigurations ---
+		{label: "rrsig-exp-all", group: 3, signed: true,
+			description: "All the RRSIG records are expired",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.ResignAllWithWindow(PastInception, PastExpiration)
+			},
+			expected: expect(none, codes(7), codes(7), codes(7), codes(7), codes(7), codes(6))},
+		{label: "rrsig-exp-a", group: 3, signed: true,
+			description: "The RRSIG over A RRset is expired",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.ResignRRset(z.Origin, dnswire.TypeA, PastInception, PastExpiration, z.ZSKs[0])
+			},
+			expected: expect(none, codes(6), codes(7), none, codes(7), codes(6), codes(7))},
+		{label: "rrsig-not-yet-all", group: 3, signed: true,
+			description: "All the RRSIG records are not yet valid",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.ResignAllWithWindow(FutureInception, FutureExpiration)
+			},
+			expected: expect(none, codes(9), codes(8), codes(8), codes(8), codes(9), codes(6))},
+		{label: "rrsig-not-yet-a", group: 3, signed: true,
+			description: "The RRSIG over A RRset is not yet valid",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.ResignRRset(z.Origin, dnswire.TypeA, FutureInception, FutureExpiration, z.ZSKs[0])
+			},
+			expected: expect(none, codes(6), codes(8), none, codes(8), codes(8), codes(8))},
+		{label: "rrsig-no-all", group: 3, signed: true,
+			description: "All the RRSIGs were removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveAllSigs()
+				return nil
+			},
+			expected: expect(none, codes(10), codes(10), codes(10), codes(10), codes(9), codes(6))},
+		{label: "rrsig-no-a", group: 3, signed: true,
+			description: "The RRSIG over A RRset was removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveSigs(z.Origin, dnswire.TypeA)
+				return nil
+			},
+			expected: expect(none, codes(10), codes(10), codes(10), codes(10), codes(10), none)},
+		{label: "rrsig-exp-before-all", group: 3, signed: true,
+			description: "All the RRSIGs expired before the inception time",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.ResignAllWithWindow(Expiration, Inception)
+			},
+			expected: expect(none, codes(9), codes(7), codes(7), codes(10), codes(9), codes(6))},
+		{label: "rrsig-exp-before-a", group: 3, signed: true,
+			description: "The RRSIG over A RRset expired before the inception time",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.ResignRRset(z.Origin, dnswire.TypeA, Expiration, Inception, z.ZSKs[0])
+			},
+			expected: expect(none, codes(6), codes(7), none, codes(7), codes(7), codes(7))},
+
+		// --- Group 4: NSEC3 misconfigurations (probed via non-existent names) ---
+		{label: "nsec3-missing", group: 4, signed: true, queryNX: true,
+			description: "All the NSEC3 records were removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveNSEC3Records()
+				z.DenialMode = zone.DenialOmitNSEC3
+				return nil
+			},
+			expected: expect(none, codes(12), none, codes(12), codes(6), none, codes(12))},
+		{label: "bad-nsec3-hash", group: 4, signed: true, queryNX: true,
+			description: "Hashed owner names were modified in all the NSEC3 records",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.GarbleNSEC3Owners()
+			},
+			expected: expect(none, codes(6), none, codes(6), codes(6), codes(6), codes(12))},
+		{label: "bad-nsec3-next", group: 4, signed: true, queryNX: true,
+			description: "Next hashed owner names were modified in all the NSEC3 records",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				return z.GarbleNSEC3Next()
+			},
+			expected: expect(none, codes(6), none, codes(6), codes(6), codes(6), codes(6))},
+		{label: "bad-nsec3-rrsig", group: 4, signed: true, queryNX: true,
+			description: "RRSIGs over NSEC3 RRsets are bogus",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.CorruptNSEC3Sigs()
+				return nil
+			},
+			expected: expect(none, codes(6), none, codes(6), codes(6), none, codes(6))},
+		{label: "nsec3-rrsig-missing", group: 4, signed: true, queryNX: true,
+			description: "RRSIGs over NSEC3 RRsets were removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveNSEC3Sigs()
+				return nil
+			},
+			expected: expect(none, codes(12), none, codes(10), codes(6), codes(9), codes(12))},
+		{label: "nsec3param-missing", group: 4, signed: true, queryNX: true,
+			description: "NSEC3PARAM resource record was removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveNSEC3PARAM()
+				z.DenialMode = zone.DenialUnsignedSOA
+				return nil
+			},
+			expected: expect(none, codes(10), codes(10), codes(10), codes(10), codes(9), codes(6))},
+		{label: "bad-nsec3param-salt", group: 4, signed: true, queryNX: true,
+			description: "The salt value of the NSEC3PARAM resource record is wrong",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				if err := z.SetNSEC3Salt([]byte{0xBA, 0xAD}); err != nil {
+					return err
+				}
+				z.DenialMode = zone.DenialFullChain
+				return nil
+			},
+			expected: expect(none, codes(12), none, codes(12), codes(6), codes(9), codes(12))},
+		{label: "no-nsec3param-nsec3", group: 4, signed: true, queryNX: true,
+			description: "NSEC3 and NSEC3PARAM resource records were removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveNSEC3Records()
+				z.RemoveNSEC3PARAM()
+				z.DenialMode = zone.DenialBare
+				return nil
+			},
+			expected: expect(none, codes(10), codes(10), codes(10), codes(10), codes(10), codes(6))},
+		{label: "nsec3-iter-200", group: 4, signed: true, queryNX: true, nsec3Iterations: 200,
+			description: "NSEC3 iteration count is set to 200",
+			expected:    expect(none, none, none, none, none, none, none)},
+
+		// --- Group 5: DNSKEY misconfigurations ---
+		{label: "no-zsk", group: 5, signed: true,
+			description: "The ZSK DNSKEY was removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.RemoveDNSKey(zone.SelZSK, z.KSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(9), codes(6))},
+		{label: "bad-zsk", group: 5, signed: true,
+			description: "The ZSK DNSKEY resource record is wrong",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(zone.SelZSK, func(k *dnswire.DNSKEY) {
+					k.PublicKey[len(k.PublicKey)-1] ^= 0x5A
+				}, z.KSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(6), codes(6))},
+		{label: "no-ksk", group: 5, signed: true,
+			description: "The KSK DNSKEY was removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.RemoveDNSKey(zone.SelKSK, z.ZSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(9), codes(6), codes(9), codes(9), codes(6))},
+		{label: "no-rrsig-ksk", group: 5, signed: true,
+			description: "The RRSIG over KSK DNSKEY was removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveSigsByTag(z.Origin, dnswire.TypeDNSKEY, z.KSKs[0].KeyTag())
+				return nil
+			},
+			expected: expect(none, codes(10), codes(9), codes(6), codes(10), codes(9), codes(6))},
+		{label: "bad-rrsig-ksk", group: 5, signed: true,
+			description: "The RRSIG over KSK DNSKEY is wrong",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				tag := z.KSKs[0].KeyTag()
+				z.CorruptSigs(z.Origin, dnswire.TypeDNSKEY, &tag)
+				return nil
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(6), codes(6))},
+		{label: "bad-ksk", group: 5, signed: true,
+			description: "The KSK DNSKEY is wrong",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(zone.SelKSK, func(k *dnswire.DNSKEY) {
+					k.PublicKey[0] ^= 0x5A
+				}, z.KSKs[0], z.ZSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(9), codes(6), codes(9), codes(9), codes(6))},
+		{label: "no-rrsig-dnskey", group: 5, signed: true,
+			description: "All the RRSIGs over DNSKEY RRsets were removed from the zone file",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.RemoveSigs(z.Origin, dnswire.TypeDNSKEY)
+				return nil
+			},
+			expected: expect(none, codes(10), codes(10), codes(10), codes(10), codes(9), codes(6))},
+		{label: "bad-rrsig-dnskey", group: 5, signed: true,
+			description: "All the RRSIGs over DNSKEY RRsets are wrong",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				z.CorruptSigs(z.Origin, dnswire.TypeDNSKEY, nil)
+				return nil
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(9), codes(6))},
+		{label: "no-dnskey-256", group: 5, signed: true,
+			description: "The Zone Key Bit is set to 0 for the ZSK DNSKEY",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(zone.SelZSK, func(k *dnswire.DNSKEY) {
+					k.Flags &^= dnswire.DNSKEYFlagZone
+				}, z.KSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(9), codes(6))},
+		{label: "no-dnskey-257", group: 5, signed: true,
+			description: "The Zone Key Bit is set to 0 for the KSK DNSKEY",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(zone.SelKSK, func(k *dnswire.DNSKEY) {
+					k.Flags &^= dnswire.DNSKEYFlagZone
+				}, z.KSKs[0], z.ZSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(9), codes(6), codes(9), codes(9), codes(6))},
+		{label: "no-dnskey-256-257", group: 5, signed: true,
+			description: "The Zone Key Bit is set to 0 for both the KSK DNSKEY and ZSK DNSKEY",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(
+					func(k dnswire.DNSKEY) bool { return k.IsZoneKey() },
+					func(k *dnswire.DNSKEY) { k.Flags &^= dnswire.DNSKEYFlagZone },
+					z.KSKs[0], z.ZSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(10), codes(10), codes(9), codes(10), codes(6))},
+		{label: "bad-zsk-algo", group: 5, signed: true,
+			description: "The ZSK DNSKEY algorithm number is wrong",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(zone.SelZSK, func(k *dnswire.DNSKEY) {
+					k.Algorithm = uint8(dnssec.AlgECDSAP384SHA384)
+				}, z.KSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(6), codes(6))},
+		{label: "unassigned-zsk-algo", group: 5, signed: true,
+			description: "The ZSK DNSKEY algorithm number is unassigned (100)",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(zone.SelZSK, func(k *dnswire.DNSKEY) {
+					k.Algorithm = uint8(dnssec.AlgUnassigned)
+				}, z.KSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(9), codes(6))},
+		{label: "reserved-zsk-algo", group: 5, signed: true,
+			description: "The ZSK DNSKEY algorithm number is reserved (200)",
+			build: func(tb *buildState, z, parent *zone.Zone) error {
+				_, err := z.MutateDNSKey(zone.SelZSK, func(k *dnswire.DNSKEY) {
+					k.Algorithm = uint8(dnssec.AlgReserved)
+				}, z.KSKs[0])
+				return err
+			},
+			expected: expect(none, codes(9), codes(6), codes(6), codes(6), codes(6), codes(6))},
+	}
+
+	// --- Groups 6 and 7: invalid glue records ---
+	glue6 := []struct {
+		label string
+		cat   ipspecial.Category
+		desc  string
+	}{
+		{"v6-mapped", ipspecial.CategoryV6Mapped, "The AAAA glue record at the parent zone is an IPv6-mapped IPv4 address"},
+		{"v6-multicast", ipspecial.CategoryV6Multicast, "The AAAA glue record at the parent zone is from a multicast range"},
+		{"v6-unspecified", ipspecial.CategoryV6Unspecified, "The AAAA glue record at the parent zone is an unspecified address"},
+		{"v4-hex", ipspecial.CategoryV6MappedDep, "The AAAA glue record at the parent zone is an IPv4 address in hex form"},
+		{"v6-unique-local", ipspecial.CategoryV6UniqueLocal, "The AAAA glue record at the parent zone is from a unique local address"},
+		{"v6-doc", ipspecial.CategoryV6Doc, "The AAAA glue record at the parent zone is from the documentation range"},
+		{"v6-link-local", ipspecial.CategoryV6LinkLocal, "The AAAA glue record at the parent zone is a link local address"},
+		{"v6-localhost", ipspecial.CategoryV6Localhost, "The AAAA glue record at the parent zone is a localhost"},
+		{"v6-mapped-dep", ipspecial.CategoryV6MappedDep, "The AAAA glue record at the parent zone is a deprecated IPv6-mapped IPv4 address"},
+		{"v6-nat64", ipspecial.CategoryV6NAT64, "The AAAA glue record at the parent zone is used for NAT64"},
+	}
+	for _, g := range glue6 {
+		specs = append(specs, caseSpec{
+			label: g.label, group: 6, glue: g.cat, description: g.desc,
+			expected: expect(none, none, none, none, codes(22), none, none),
+		})
+	}
+	glue7 := []struct {
+		label string
+		cat   ipspecial.Category
+		desc  string
+	}{
+		{"v4-private-10", ipspecial.CategoryV4Private10, "The A glue record at the parent zone is a private address"},
+		{"v4-doc", ipspecial.CategoryV4Doc, "The A glue record at the parent zone is a documentation address"},
+		{"v4-private-172", ipspecial.CategoryV4Private17, "The A glue record at the parent zone is a private address"},
+		{"v4-loopback", ipspecial.CategoryV4Loopback, "The A glue record at the parent zone is a loopback address"},
+		{"v4-private-192", ipspecial.CategoryV4Private19, "The A glue record at the parent zone is a private address"},
+		{"v4-reserved", ipspecial.CategoryV4Reserved, "The A glue record at the parent zone is a reserved address"},
+		{"v4-this-host", ipspecial.CategoryV4ThisHost, "The A glue record at the parent zone is a 0.0.0.0"},
+		{"v4-link-local", ipspecial.CategoryV4LinkLocal, "The A glue record at the parent zone is a link-local address"},
+	}
+	for _, g := range glue7 {
+		specs = append(specs, caseSpec{
+			label: g.label, group: 7, glue: g.cat, description: g.desc,
+			expected: expect(none, none, none, none, codes(22), none, none),
+		})
+	}
+
+	// --- Group 8: other corner cases ---
+	specs = append(specs,
+		caseSpec{label: "unsigned", group: 8, signed: false,
+			description: "The domain name is not signed with DNSSEC",
+			expected:    expect(none, none, none, none, none, none, none)},
+		caseSpec{label: "ed448", group: 8, signed: true, algorithm: dnssec.AlgED448,
+			description: "The zone is signed with ED448 algorithm",
+			expected:    expect(none, none, none, none, codes(1), none, none)},
+		caseSpec{label: "rsamd5", group: 8, signed: true, algorithm: dnssec.AlgRSAMD5,
+			description: "The zone is signed with RSAMD5 algorithm",
+			expected:    expect(none, none, none, codes(0), codes(1), none, none)},
+		caseSpec{label: "dsa", group: 8, signed: true, algorithm: dnssec.AlgDSA,
+			description: "The zone is signed with DSA algorithm",
+			expected:    expect(none, none, none, codes(0), codes(1), none, none)},
+		caseSpec{label: "allow-query-none", group: 8, signed: true, acl: authserver.ACLRefuseAll,
+			description: "Nameserver does not accept queries for the subdomain",
+			expected:    expect(none, none, none, none, codes(9, 22, 23), none, codes(18))},
+		caseSpec{label: "allow-query-localhost", group: 8, signed: true, acl: authserver.ACLLocalhostOnly,
+			description: "Nameserver only accepts queries from the localhost",
+			expected:    expect(none, none, none, none, codes(9, 22, 23), none, codes(18))},
+	)
+	return specs
+}

@@ -1,0 +1,61 @@
+package testbed
+
+import (
+	"context"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+)
+
+// NewResolver builds a resolver over the testbed with the given profile and
+// the frozen testbed clock.
+func (tb *Testbed) NewResolver(p *resolver.Profile) *resolver.Resolver {
+	r := resolver.New(tb.Net, tb.Roots, tb.Anchor, p)
+	r.Now = tb.Clock
+	return r
+}
+
+// RunCase resolves one test case through one profile's resolver.
+func (tb *Testbed) RunCase(ctx context.Context, r *resolver.Resolver, c Case) *resolver.Result {
+	return r.Resolve(ctx, c.Query, dnswire.TypeA)
+}
+
+// RunAll queries every case through every profile, producing the Table 4
+// matrix. One resolver per profile is reused across cases (sharing the
+// root/com/parent key cache, as a long-running resolver would).
+func (tb *Testbed) RunAll(ctx context.Context, profiles []*resolver.Profile) *ede.Matrix {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	m := ede.NewMatrix(names)
+	for _, p := range profiles {
+		r := tb.NewResolver(p)
+		for _, c := range tb.Cases {
+			res := tb.RunCase(ctx, r, c)
+			var set ede.Set
+			for _, code := range res.Codes() {
+				set = append(set, ede.Code(code))
+			}
+			m.Record(c.Label, p.Name, set)
+		}
+	}
+	return m
+}
+
+// ExpectedMatrix builds the ground-truth matrix transcribed from the paper's
+// Table 4, for comparison against RunAll.
+func (tb *Testbed) ExpectedMatrix() *ede.Matrix {
+	m := ede.NewMatrix(Systems)
+	for _, c := range tb.Cases {
+		for _, sys := range Systems {
+			var set ede.Set
+			for _, code := range c.Expected[sys] {
+				set = append(set, ede.Code(code))
+			}
+			m.Record(c.Label, sys, set)
+		}
+	}
+	return m
+}

@@ -1,0 +1,245 @@
+// Package testbed reproduces the paper's measurement infrastructure
+// (Section 3): the extended-dns-errors.com zone and its 63 deliberately
+// (mis)configured subdomains (Tables 2 and 3), hosted on a simulated
+// Internet with a signed root and com, plus the runner that queries every
+// test case through every vendor profile to regenerate Table 4.
+package testbed
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnssec"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ipspecial"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/zone"
+)
+
+// The testbed freezes time so that signature windows are deterministic.
+const (
+	// Now is the validation instant.
+	Now uint32 = 1750000000
+	// Inception/Expiration delimit the valid signing window.
+	Inception  uint32 = 1700000000
+	Expiration uint32 = 1800000000
+	// Past window: signatures already expired at Now.
+	PastInception  uint32 = 1600000000
+	PastExpiration uint32 = 1650000000
+	// Future window: signatures not yet valid at Now.
+	FutureInception  uint32 = 1900000000
+	FutureExpiration uint32 = 1950000000
+)
+
+// ParentZone is the testbed's parent domain.
+var ParentZone = dnswire.MustName("extended-dns-errors.com")
+
+// Testbed is the built infrastructure.
+type Testbed struct {
+	Net    *netsim.Network
+	Roots  []netip.Addr
+	Anchor []dnswire.DS
+	Cases  []Case
+	// Clock is the frozen validation clock resolvers must use.
+	Clock func() time.Time
+
+	zones map[string]*zone.Zone
+}
+
+// ZoneFor returns the child zone backing a test case label. Invalid-glue
+// cases (groups 6–7) have no zone: the misconfiguration lives entirely in
+// the parent's glue.
+func (tb *Testbed) ZoneFor(label string) (*zone.Zone, bool) {
+	z, ok := tb.zones[label]
+	return z, ok
+}
+
+// Case is one test subdomain with its Table 4 ground truth.
+type Case struct {
+	// Label is the subdomain label ("ds-bad-tag").
+	Label string
+	// Group is the Table 2 group number (1–8).
+	Group int
+	// Description is the Table 3 configuration text.
+	Description string
+	// Zone is the delegated zone name.
+	Zone dnswire.Name
+	// Query is the name whose A record the runner requests (the zone apex
+	// for most groups; a non-existent child for the NSEC3 group, which the
+	// paper probed via denial of existence).
+	Query dnswire.Name
+	// Expected maps system name to the paper's Table 4 EDE sets.
+	Expected map[string][]uint16
+}
+
+// builder mutates a freshly signed child zone into its broken configuration.
+// parent is available for cases that corrupt the delegation side.
+type builder func(tb *buildState, z *zone.Zone, parent *zone.Zone) error
+
+type buildState struct {
+	net      *netsim.Network
+	nextHost byte
+	parent   *zone.Zone
+}
+
+func (b *buildState) addr() netip.Addr {
+	b.nextHost++
+	return netip.AddrFrom4([4]byte{198, 18, 1, b.nextHost})
+}
+
+// Build assembles the whole testbed: root, com, the parent zone, and all 63
+// subdomains with their authoritative servers.
+func Build() (*Testbed, error) {
+	net_ := netsim.New(20230515)
+	state := &buildState{net: net_}
+
+	rootAddr := netip.AddrFrom4([4]byte{198, 18, 0, 1})
+	comAddr := netip.AddrFrom4([4]byte{198, 18, 0, 2})
+	parentAddr := netip.AddrFrom4([4]byte{198, 18, 0, 3})
+
+	signOpts := zone.SignOptions{Inception: Inception, Expiration: Expiration}
+
+	root := zone.New(dnswire.Root, 86400)
+	root.AddNS(dnswire.MustName("a.root-servers.net"), rootAddr)
+	com := zone.New(dnswire.MustName("com"), 86400)
+	com.AddNS(dnswire.MustName("ns1.com"), comAddr)
+	parent := zone.New(ParentZone, 3600)
+	parent.AddNS(ParentZone.Child("ns1"), parentAddr)
+	parent.AddAddress(ParentZone, netip.MustParseAddr("198.51.100.80"))
+	state.parent = parent
+
+	// Sign bottom-up so DS records can propagate upward.
+	if err := parent.Sign(signOpts); err != nil {
+		return nil, err
+	}
+	com.AddDelegation(ParentZone, map[dnswire.Name][]netip.Addr{
+		ParentZone.Child("ns1"): {parentAddr},
+	})
+	parentDS, err := parent.DS(dnssec.DigestSHA256)
+	if err != nil {
+		return nil, err
+	}
+	com.AddDS(ParentZone, parentDS...)
+	if err := com.Sign(signOpts); err != nil {
+		return nil, err
+	}
+	root.AddDelegation(dnswire.MustName("com"), map[dnswire.Name][]netip.Addr{
+		dnswire.MustName("ns1.com"): {comAddr},
+	})
+	comDS, err := com.DS(dnssec.DigestSHA256)
+	if err != nil {
+		return nil, err
+	}
+	root.AddDS(dnswire.MustName("com"), comDS...)
+	if err := root.Sign(signOpts); err != nil {
+		return nil, err
+	}
+
+	tb := &Testbed{
+		Net:   net_,
+		Roots: []netip.Addr{rootAddr},
+		Clock: func() time.Time { return time.Unix(int64(Now), 0) },
+		zones: make(map[string]*zone.Zone),
+	}
+	anchor, err := root.DS(dnssec.DigestSHA256)
+	if err != nil {
+		return nil, err
+	}
+	tb.Anchor = anchor
+
+	// Child zones must exist before the parent's NSEC3 chain is final, so
+	// gather delegations first and re-sign the parent at the end.
+	for _, spec := range caseSpecs() {
+		if err := buildCase(tb, state, parent, spec); err != nil {
+			return nil, fmt.Errorf("case %s: %w", spec.label, err)
+		}
+	}
+	// The parent gained delegations (and DS records) after signing;
+	// rebuild its signatures and denial chain.
+	if err := parent.Sign(zone.SignOptions{
+		Inception: Inception, Expiration: Expiration,
+		KSK: parent.KSKs[0], ZSK: parent.ZSKs[0],
+	}); err != nil {
+		return nil, err
+	}
+
+	net_.Register(rootAddr, authserver.New(root))
+	net_.Register(comAddr, authserver.New(com))
+	net_.Register(parentAddr, authserver.New(parent))
+	return tb, nil
+}
+
+// buildCase constructs one subdomain zone, applies its mutation, wires its
+// server, and records the Case.
+func buildCase(tb *Testbed, state *buildState, parent *zone.Zone, spec caseSpec) error {
+	child := ParentZone.Child(spec.label)
+	c := Case{
+		Label:       spec.label,
+		Group:       spec.group,
+		Description: spec.description,
+		Zone:        child,
+		Query:       child,
+		Expected:    spec.expected,
+	}
+	if spec.queryNX {
+		c.Query = child.Child("nx")
+	}
+
+	nsHost := child.Child("ns1")
+
+	switch {
+	case spec.glue != "":
+		// Groups 6–7: unsigned child, glue pointing into special-purpose
+		// space. No server is registered — the address is unroutable.
+		addr := ipspecial.Example(spec.glue)
+		parent.AddDelegation(child, map[dnswire.Name][]netip.Addr{nsHost: {addr}})
+		tb.Cases = append(tb.Cases, c)
+		return nil
+	default:
+		addr := state.addr()
+		z := zone.New(child, 300)
+		z.AddNS(nsHost, addr)
+		z.AddAddress(child, netip.MustParseAddr("198.51.100.10"))
+		parent.AddDelegation(child, map[dnswire.Name][]netip.Addr{nsHost: {addr}})
+
+		if spec.signed {
+			opts := zone.SignOptions{Inception: Inception, Expiration: Expiration}
+			if spec.algorithm != 0 {
+				opts.Algorithm = spec.algorithm
+			}
+			if spec.rsaBits != 0 {
+				opts.RSABits = spec.rsaBits
+			}
+			opts.NSEC3Iterations = spec.nsec3Iterations
+			if err := z.Sign(opts); err != nil {
+				return err
+			}
+			if spec.build != nil {
+				if err := spec.build(state, z, parent); err != nil {
+					return err
+				}
+			}
+			if !spec.omitDS {
+				ds, err := z.DS(dnssec.DigestSHA256)
+				if err != nil {
+					return err
+				}
+				if spec.mutateDS != nil {
+					for i := range ds {
+						spec.mutateDS(&ds[i])
+					}
+				}
+				parent.AddDS(child, ds...)
+			}
+		}
+
+		srv := authserver.New(z)
+		srv.ACL = spec.acl
+		state.net.Register(addr, srv)
+		tb.zones[spec.label] = z
+		tb.Cases = append(tb.Cases, c)
+		return nil
+	}
+}

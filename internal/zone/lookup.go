@@ -1,0 +1,251 @@
+package zone
+
+import (
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// ResultKind classifies a Lookup outcome.
+type ResultKind int
+
+// Lookup outcomes.
+const (
+	// ResultAnswer: authoritative data for (qname, qtype).
+	ResultAnswer ResultKind = iota
+	// ResultReferral: qname is at or below a delegation cut.
+	ResultReferral
+	// ResultNoData: qname exists, qtype does not.
+	ResultNoData
+	// ResultNXDomain: qname does not exist.
+	ResultNXDomain
+	// ResultNotZone: qname is not within this zone.
+	ResultNotZone
+)
+
+// LookupResult carries the records for a response, already divided into
+// sections. RRSIGs accompany their sets when the query has DO set (the
+// server decides; the records are always included here and filtered by the
+// server).
+type LookupResult struct {
+	Kind       ResultKind
+	Answer     []dnswire.RR
+	Authority  []dnswire.RR
+	Additional []dnswire.RR
+}
+
+// Lookup answers (qname, qtype) from zone data following RFC 1034 §4.3.2
+// plus DNSSEC additions: RRSIGs with answers, DS/NSEC3 in referrals, and
+// NSEC3 denial in negative responses (subject to the zone's DenialMode).
+// withDNSSEC controls whether RRSIGs/NSEC3/DS material is attached.
+func (z *Zone) Lookup(qname dnswire.Name, qtype dnswire.Type, withDNSSEC bool) LookupResult {
+	if !qname.IsSubdomainOf(z.Origin) {
+		return LookupResult{Kind: ResultNotZone}
+	}
+
+	// Delegation handling: a query at or below a cut is a referral, except
+	// a DS query at the cut itself, which the parent answers.
+	if cut, below := z.delegationAbove(qname); below {
+		if qname == cut && qtype == dnswire.TypeDS {
+			return z.answerOrNegative(qname, qtype, withDNSSEC)
+		}
+		return z.referral(cut, withDNSSEC)
+	}
+	return z.answerOrNegative(qname, qtype, withDNSSEC)
+}
+
+func (z *Zone) answerOrNegative(qname dnswire.Name, qtype dnswire.Type, withDNSSEC bool) LookupResult {
+	if rrs := z.RRset(qname, qtype); len(rrs) > 0 {
+		res := LookupResult{Kind: ResultAnswer, Answer: append([]dnswire.RR(nil), rrs...)}
+		if withDNSSEC {
+			res.Answer = append(res.Answer, z.Sigs(qname, qtype)...)
+		}
+		return res
+	}
+	// A CNAME at qname answers any other type (RFC 1034 §4.3.2 step 3a);
+	// the client restarts at the target.
+	if qtype != dnswire.TypeCNAME {
+		if cname := z.RRset(qname, dnswire.TypeCNAME); len(cname) > 0 {
+			res := LookupResult{Kind: ResultAnswer, Answer: append([]dnswire.RR(nil), cname...)}
+			if withDNSSEC {
+				res.Answer = append(res.Answer, z.Sigs(qname, dnswire.TypeCNAME)...)
+			}
+			return res
+		}
+	}
+	if z.HasName(qname) {
+		return z.negative(qname, ResultNoData, withDNSSEC)
+	}
+	// Wildcard synthesis (RFC 4035 §3.1.3.3): expand *.<closest encloser>
+	// and attach the cover proving the exact name does not exist.
+	if res, ok := z.wildcardAnswer(qname, qtype, withDNSSEC); ok {
+		return res
+	}
+	return z.negative(qname, ResultNXDomain, withDNSSEC)
+}
+
+// wildcardAnswer synthesizes an answer from a wildcard RRset when one
+// matches qname.
+func (z *Zone) wildcardAnswer(qname dnswire.Name, qtype dnswire.Type, withDNSSEC bool) (LookupResult, bool) {
+	ce := qname.Parent()
+	for {
+		if z.HasName(ce) || ce == z.Origin {
+			break
+		}
+		if ce.IsRoot() {
+			return LookupResult{}, false
+		}
+		ce = ce.Parent()
+	}
+	wc := ce.Child("*")
+	src := z.RRset(wc, qtype)
+	if len(src) == 0 {
+		return LookupResult{}, false
+	}
+	res := LookupResult{Kind: ResultAnswer}
+	for _, rr := range src {
+		rr.Name = qname
+		res.Answer = append(res.Answer, rr)
+	}
+	if withDNSSEC {
+		for _, sig := range z.Sigs(wc, qtype) {
+			sig.Name = qname
+			res.Answer = append(res.Answer, sig)
+		}
+		// Prove the exact name does not exist (the next-closer cover).
+		nextCloser := qname
+		for nextCloser.Parent() != ce && !nextCloser.IsRoot() {
+			nextCloser = nextCloser.Parent()
+		}
+		if z.nsecMode {
+			if rrs, sigs, ok := z.nsecCovering(nextCloser); ok {
+				res.Authority = append(res.Authority, rrs...)
+				res.Authority = append(res.Authority, sigs...)
+			}
+		} else if rrs, sigs, ok := z.NSEC3Covering(nextCloser); ok {
+			res.Authority = append(res.Authority, rrs...)
+			res.Authority = append(res.Authority, sigs...)
+		}
+	}
+	return res, true
+}
+
+// referral builds a delegation response for the cut.
+func (z *Zone) referral(cut dnswire.Name, withDNSSEC bool) LookupResult {
+	res := LookupResult{Kind: ResultReferral}
+	nsSet := z.RRset(cut, dnswire.TypeNS)
+	res.Authority = append(res.Authority, nsSet...)
+
+	if withDNSSEC {
+		if ds := z.RRset(cut, dnswire.TypeDS); len(ds) > 0 {
+			res.Authority = append(res.Authority, ds...)
+			res.Authority = append(res.Authority, z.Sigs(cut, dnswire.TypeDS)...)
+		} else if z.signed {
+			// Prove the delegation is unsigned: the NSEC/NSEC3 record
+			// matching the cut, whose bitmap lacks DS (RFC 5155 §7.2.7).
+			if z.nsecMode {
+				res.Authority = append(res.Authority, z.nsecDenialRecords(cut, true)...)
+			} else {
+				res.Authority = append(res.Authority, z.denialRecords(cut, true)...)
+			}
+		}
+	}
+
+	// Glue for in-zone (or in-child) nameserver hosts.
+	for _, rr := range nsSet {
+		host := rr.Data.(dnswire.NS).Host
+		res.Additional = append(res.Additional, z.RRset(host, dnswire.TypeA)...)
+		res.Additional = append(res.Additional, z.RRset(host, dnswire.TypeAAAA)...)
+	}
+	return res
+}
+
+// negative builds a NODATA or NXDOMAIN response.
+func (z *Zone) negative(qname dnswire.Name, kind ResultKind, withDNSSEC bool) LookupResult {
+	res := LookupResult{Kind: kind}
+	if soa, ok := z.SOA(); ok {
+		switch z.DenialMode {
+		case DenialBare:
+			// Broken server: nothing at all in the authority section.
+			return res
+		case DenialUnsignedSOA:
+			res.Authority = append(res.Authority, soa)
+			return res
+		default:
+			res.Authority = append(res.Authority, soa)
+			if withDNSSEC {
+				res.Authority = append(res.Authority, z.Sigs(z.Origin, dnswire.TypeSOA)...)
+			}
+		}
+	}
+	if withDNSSEC && z.signed {
+		switch z.DenialMode {
+		case DenialNormal:
+			if z.nsecMode {
+				res.Authority = append(res.Authority, z.nsecDenialRecords(qname, kind == ResultNoData)...)
+				break
+			}
+			res.Authority = append(res.Authority, z.denialRecords(qname, kind == ResultNoData)...)
+		case DenialFullChain:
+			for _, e := range z.nsec3Chain {
+				res.Authority = append(res.Authority, z.RRset(e.owner, dnswire.TypeNSEC3)...)
+				res.Authority = append(res.Authority, z.Sigs(e.owner, dnswire.TypeNSEC3)...)
+			}
+		}
+	}
+	return res
+}
+
+// denialRecords assembles the NSEC3 proof for qname. For NODATA (or an
+// unsigned-delegation proof) that is the NSEC3 matching qname; for NXDOMAIN
+// the full closest-encloser proof of RFC 5155 §7.2.1: a match for the
+// closest encloser, a cover for the next-closer name, and a cover for the
+// wildcard at the closest encloser.
+func (z *Zone) denialRecords(qname dnswire.Name, nodata bool) []dnswire.RR {
+	var out []dnswire.RR
+	add := func(rrs, sigs []dnswire.RR) {
+		out = append(out, rrs...)
+		out = append(out, sigs...)
+	}
+	if nodata {
+		if rrs, sigs, ok := z.NSEC3ForName(qname); ok {
+			add(rrs, sigs)
+		}
+		return out
+	}
+
+	// Closest encloser: the longest ancestor of qname that exists.
+	ce := qname.Parent()
+	for !ce.IsRoot() {
+		if z.HasName(ce) || ce == z.Origin {
+			break
+		}
+		ce = ce.Parent()
+	}
+	nextCloser := qname
+	for nextCloser.Parent() != ce && !nextCloser.IsRoot() {
+		nextCloser = nextCloser.Parent()
+	}
+
+	if rrs, sigs, ok := z.NSEC3ForName(ce); ok {
+		add(rrs, sigs)
+	}
+	if rrs, sigs, ok := z.NSEC3Covering(nextCloser); ok {
+		add(rrs, sigs)
+	}
+	if rrs, sigs, ok := z.NSEC3Covering(ce.Child("*")); ok {
+		add(rrs, sigs)
+	}
+	return dedupRRs(out)
+}
+
+func dedupRRs(rrs []dnswire.RR) []dnswire.RR {
+	seen := make(map[string]bool, len(rrs))
+	out := rrs[:0]
+	for _, rr := range rrs {
+		key := rr.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, rr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+func TestMasterFileFormat(t *testing.T) {
+	z := signedZone(t)
+	out := z.Master()
+
+	if !strings.HasPrefix(out, "$ORIGIN example.com.\n$TTL 300\n") {
+		t.Errorf("missing directives:\n%s", out[:80])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// SOA must be the first record line (after the two directives).
+	if !strings.Contains(lines[2], "SOA") {
+		t.Errorf("first record is not SOA: %q", lines[2])
+	}
+	for _, want := range []string{"DNSKEY", "RRSIG", "NSEC3PARAM", "NSEC3", "NS", "A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("master file missing %s records", want)
+		}
+	}
+	// Every record line must carry the IN class.
+	for _, l := range lines[2:] {
+		if !strings.Contains(l, " IN ") {
+			t.Errorf("line without class: %q", l)
+		}
+	}
+}
+
+func TestMasterReflectsMutations(t *testing.T) {
+	// Count actual RRSIG record lines (the NSEC3 type bitmaps also contain
+	// the literal "RRSIG", so match the type column).
+	countSigLines := func(out string) int {
+		n := 0
+		for _, l := range strings.Split(out, "\n") {
+			fields := strings.Fields(l)
+			if len(fields) > 3 && fields[3] == "RRSIG" {
+				n++
+			}
+		}
+		return n
+	}
+	z := signedZone(t)
+	before := countSigLines(z.Master())
+	z.RemoveAllSigs()
+	after := countSigLines(z.Master())
+	if after != 0 || before == 0 {
+		t.Errorf("RRSIG lines before=%d after=%d", before, after)
+	}
+}
+
+func TestZoneStats(t *testing.T) {
+	z := signedZone(t)
+	stats := z.Stats()
+	if stats[dnswire.TypeSOA] != 1 {
+		t.Errorf("SOA count = %d", stats[dnswire.TypeSOA])
+	}
+	if stats[dnswire.TypeDNSKEY] != 2 {
+		t.Errorf("DNSKEY count = %d", stats[dnswire.TypeDNSKEY])
+	}
+	if stats[dnswire.TypeRRSIG] == 0 {
+		t.Error("no RRSIGs counted")
+	}
+	if stats[dnswire.TypeNSEC3] == 0 {
+		t.Error("no NSEC3 chain counted")
+	}
+}

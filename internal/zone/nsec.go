@@ -1,0 +1,110 @@
+package zone
+
+import (
+	"sort"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// NSEC (RFC 4034 §4) denial support: the non-hashed alternative to NSEC3.
+// Real deployments use both (the root and several TLDs are NSEC-signed);
+// the wild-scan's §4.2 item 9 explicitly covers "missing NSEC/NSEC3"
+// proofs. Zones choose at signing time via SignOptions.DenialNSEC.
+
+// buildNSECChain links every authoritative owner name in canonical order
+// with NSEC records carrying the type bitmaps.
+func (z *Zone) buildNSECChain() {
+	// Remove any previous chain.
+	for _, name := range z.nsecChain {
+		z.RemoveRRset(name, dnswire.TypeNSEC)
+	}
+	z.nsecChain = nil
+
+	typesAt := make(map[dnswire.Name][]dnswire.Type)
+	for k := range z.rrsets {
+		cut, below := z.delegationAbove(k.name)
+		if below && k.name != cut {
+			continue
+		}
+		if below && k.name == cut {
+			if k.typ == dnswire.TypeNS || k.typ == dnswire.TypeDS {
+				typesAt[k.name] = append(typesAt[k.name], k.typ)
+			}
+			continue
+		}
+		typesAt[k.name] = append(typesAt[k.name], k.typ)
+	}
+
+	names := make([]dnswire.Name, 0, len(typesAt))
+	for name := range typesAt {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Compare(names[j]) < 0 })
+	z.nsecChain = names
+
+	for i, name := range names {
+		next := names[(i+1)%len(names)]
+		types := typesAt[name]
+		if z.Authoritative(name) {
+			types = append(types, dnswire.TypeRRSIG, dnswire.TypeNSEC)
+		}
+		z.SetRRset(name, dnswire.TypeNSEC, []dnswire.RR{{
+			Name: name, Class: dnswire.ClassIN, TTL: z.DefaultTTL,
+			Data: dnswire.NSEC{NextName: next, Types: dedupTypes(types)},
+		}})
+	}
+}
+
+// nsecCovering returns the NSEC record (with signatures) whose span covers
+// qname: owner < qname < next in canonical order, wrapping at the apex.
+func (z *Zone) nsecCovering(qname dnswire.Name) ([]dnswire.RR, []dnswire.RR, bool) {
+	if len(z.nsecChain) == 0 {
+		return nil, nil, false
+	}
+	for i, owner := range z.nsecChain {
+		next := z.nsecChain[(i+1)%len(z.nsecChain)]
+		if nsecCovers(owner, next, qname) {
+			return z.RRset(owner, dnswire.TypeNSEC), z.Sigs(owner, dnswire.TypeNSEC), true
+		}
+	}
+	return nil, nil, false
+}
+
+// nsecCovers reports owner < name < next in canonical order, handling the
+// wrap-around record (owner >= next) at the end of the chain.
+func nsecCovers(owner, next, name dnswire.Name) bool {
+	switch {
+	case owner.Compare(next) < 0:
+		return owner.Compare(name) < 0 && name.Compare(next) < 0
+	case owner.Compare(next) > 0:
+		return owner.Compare(name) < 0 || name.Compare(next) < 0
+	default:
+		return name.Compare(owner) != 0
+	}
+}
+
+// nsecDenialRecords assembles the NSEC proof: for NODATA the matching NSEC
+// at qname; for NXDOMAIN the cover of qname plus the cover of the wildcard
+// (RFC 4035 §3.1.3.2).
+func (z *Zone) nsecDenialRecords(qname dnswire.Name, nodata bool) []dnswire.RR {
+	var out []dnswire.RR
+	add := func(rrs, sigs []dnswire.RR) {
+		out = append(out, rrs...)
+		out = append(out, sigs...)
+	}
+	if nodata {
+		add(z.RRset(qname, dnswire.TypeNSEC), z.Sigs(qname, dnswire.TypeNSEC))
+		return out
+	}
+	if rrs, sigs, ok := z.nsecCovering(qname); ok {
+		add(rrs, sigs)
+	}
+	ce := qname.Parent()
+	for !ce.IsRoot() && !z.HasName(ce) && ce != z.Origin {
+		ce = ce.Parent()
+	}
+	if rrs, sigs, ok := z.nsecCovering(ce.Child("*")); ok {
+		add(rrs, sigs)
+	}
+	return dedupRRs(out)
+}
