@@ -24,6 +24,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/ede"
 	"github.com/extended-dns-errors/edelab/internal/errreport"
 	"github.com/extended-dns-errors/edelab/internal/forwarder"
+	"github.com/extended-dns-errors/edelab/internal/frontend"
 	"github.com/extended-dns-errors/edelab/internal/population"
 	"github.com/extended-dns-errors/edelab/internal/resolver"
 	"github.com/extended-dns-errors/edelab/internal/scan"
@@ -41,8 +42,11 @@ var (
 	benchErr  error
 )
 
-func fixtures(b *testing.B) (*testbed.Testbed, *population.Wild, []scan.Result) {
+func fixtures(b testing.TB) (*testbed.Testbed, *population.Wild, []scan.Result) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping fixture-heavy benchmark in -short mode")
+	}
 	benchOnce.Do(func() {
 		benchTB, benchErr = testbed.Build()
 		if benchErr != nil {
@@ -262,6 +266,130 @@ func BenchmarkAblationLazyZones(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- serving layer (internal/frontend) ---
+
+// benchFrontend builds a frontend over a fresh testbed resolver, on the
+// testbed's frozen clock so cached entries stay fresh.
+func benchFrontend(tb *testbed.Testbed) *frontend.Frontend {
+	r := tb.NewResolver(resolver.ProfileCloudflare())
+	return frontend.New(forwarder.ResolverUpstream{R: r}, frontend.Config{Now: tb.Clock})
+}
+
+// BenchmarkFrontendServe measures the serving layer in its three regimes:
+// cold (every query is a miss driving a full recursion), warm (every query
+// is a sharded-cache hit), and coalesced (many concurrent clients share one
+// recursion via singleflight).
+func BenchmarkFrontendServe(b *testing.B) {
+	tb, _, _ := fixtures(b)
+	qname := testbed.ParentZone.Child("valid")
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fe := benchFrontend(tb)
+			if _, err := fe.HandleDNS(context.Background(), dnswire.NewQuery(1, qname, dnswire.TypeA)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		fe := benchFrontend(tb)
+		q := dnswire.NewQuery(1, qname, dnswire.TypeA)
+		if _, err := fe.HandleDNS(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fe.HandleDNS(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if snap := fe.Metrics().Snapshot(); snap.Hits < uint64(b.N) {
+			b.Fatalf("warm bench missed the cache: %+v", snap)
+		}
+	})
+	b.Run("warm-parallel", func(b *testing.B) {
+		fe := benchFrontend(tb)
+		if _, err := fe.HandleDNS(context.Background(), dnswire.NewQuery(1, qname, dnswire.TypeA)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			q := dnswire.NewQuery(2, qname, dnswire.TypeA)
+			for pb.Next() {
+				if _, err := fe.HandleDNS(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		const clients = 32
+		for i := 0; i < b.N; i++ {
+			fe := benchFrontend(tb)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := fe.HandleDNS(context.Background(), dnswire.NewQuery(3, qname, dnswire.TypeA)); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(clients, "clients/op")
+	})
+}
+
+// TestFrontendWarmSpeedup is the tentpole's acceptance check: repeated
+// queries served by the warm frontend cache must run at least 10x faster
+// than the uncached resolver.Resolve path (a fresh resolver per query, the
+// pre-frontend cost of answering every packet with a full recursion). The
+// measured gap is typically well over 100x; 10x leaves room for noisy CI.
+func TestFrontendWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive comparison skipped in -short mode")
+	}
+	tb, _, _ := fixtures(t)
+	qname := testbed.ParentZone.Child("valid")
+	ctx := context.Background()
+
+	const uncachedN = 20
+	start := time.Now()
+	for i := 0; i < uncachedN; i++ {
+		r := tb.NewResolver(resolver.ProfileCloudflare())
+		if res := r.Resolve(ctx, qname, dnswire.TypeA); len(res.Msg.Answer) == 0 {
+			t.Fatalf("uncached resolution failed: %v", res.Msg.RCode)
+		}
+	}
+	uncachedPer := time.Since(start) / uncachedN
+
+	fe := benchFrontend(tb)
+	q := dnswire.NewQuery(1, qname, dnswire.TypeA)
+	if _, err := fe.HandleDNS(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	const warmN = 5000
+	start = time.Now()
+	for i := 0; i < warmN; i++ {
+		if _, err := fe.HandleDNS(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmPer := time.Since(start) / warmN
+
+	if snap := fe.Metrics().Snapshot(); snap.Hits != warmN {
+		t.Fatalf("warm loop missed the cache: %+v", snap)
+	}
+	if uncachedPer < 10*warmPer {
+		t.Fatalf("warm frontend %v/query vs uncached %v/query: speedup %.1fx, want >= 10x",
+			warmPer, uncachedPer, float64(uncachedPer)/float64(warmPer))
+	}
+	t.Logf("warm frontend %v/query, uncached resolve %v/query (%.0fx)",
+		warmPer, uncachedPer, float64(uncachedPer)/float64(warmPer))
 }
 
 // BenchmarkForwarderOverhead measures the EDE-forwarding hop in isolation.

@@ -8,11 +8,18 @@
 // server fleet, useful for wire-level inspection.
 //
 // With -mode resolver the socket instead fronts a validating recursive
-// resolver (Cloudflare profile) over the same testbed, so clients receive
-// the Extended DNS Errors themselves:
+// resolver (Cloudflare profile) over the same testbed through the caching
+// serving layer (internal/frontend): sharded message cache, query
+// coalescing, RFC 8767 serve-stale (EDE 3/19), an error cache (EDE 13), and
+// overload shedding. Clients receive the Extended DNS Errors themselves:
 //
-//	edeserver -addr 127.0.0.1:5353 -mode resolver &
+//	edeserver -addr 127.0.0.1:5353 -mode resolver -metrics &
 //	ededig -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
+//
+// With -metrics the serving counters (hits, misses, stale serves, coalesced
+// waits, per-EDE emissions, ...) are printed on SIGINT. -no-frontend
+// bypasses the serving layer and runs one full recursion per packet, the
+// pre-frontend behaviour, for comparison.
 package main
 
 import (
@@ -24,9 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/extended-dns-errors/edelab/internal/authserver"
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/forwarder"
+	"github.com/extended-dns-errors/edelab/internal/frontend"
 	"github.com/extended-dns-errors/edelab/internal/netsim"
 	"github.com/extended-dns-errors/edelab/internal/resolver"
 	"github.com/extended-dns-errors/edelab/internal/testbed"
@@ -36,6 +46,12 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:5353", "UDP listen address")
 	mode := flag.String("mode", "auth", "auth: serve the zones authoritatively; resolver: front a validating recursive resolver with EDE")
 	profileName := flag.String("profile", "cloudflare", "vendor profile for -mode resolver")
+	noFrontend := flag.Bool("no-frontend", false, "bypass the caching frontend in -mode resolver (one recursion per packet)")
+	metrics := flag.Bool("metrics", false, "print frontend serving metrics on SIGINT")
+	cacheSize := flag.Int("cache-size", 1<<16, "frontend cache capacity in entries")
+	maxInflight := flag.Int("max-inflight", 512, "bound on concurrent upstream recursions before load shedding")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "per-query upstream recursion deadline")
+	staleWindow := flag.Duration("stale-window", 24*time.Hour, "RFC 8767 window past expiry in which stale answers may be served")
 	flag.Parse()
 
 	tb, err := testbed.Build()
@@ -55,21 +71,27 @@ func main() {
 	if *mode == "resolver" {
 		prof := resolverProfile(*profileName)
 		res := tb.NewResolver(prof)
-		front := netsim.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
-			if len(q.Question) == 0 {
-				r := q.Reply()
-				r.RCode = dnswire.RCodeFormErr
-				return r, nil
-			}
-			out := res.Resolve(ctx, q.Question[0].Name, q.Question[0].Type).Msg
-			out.ID = q.ID
-			return out, nil
-		})
+		var front netsim.Handler
+		var fe *frontend.Frontend
+		if *noFrontend {
+			front = directHandler(res)
+		} else {
+			fe = frontend.New(forwarder.ResolverUpstream{R: res}, frontend.Config{
+				Capacity:     *cacheSize,
+				MaxInflight:  *maxInflight,
+				QueryTimeout: *queryTimeout,
+				StaleWindow:  *staleWindow,
+			})
+			front = fe
+		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		if err := authserver.ServeUDP(ctx, conn, front); err != nil && ctx.Err() == nil {
 			fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 			os.Exit(1)
+		}
+		if *metrics && fe != nil {
+			fmt.Printf("\nfrontend metrics (cache entries: %d)\n%s", fe.CacheLen(), fe.Metrics().Snapshot())
 		}
 		return
 	}
@@ -104,6 +126,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// directHandler runs one full recursion per query, bypassing the serving
+// layer. The resolver's message may be shared with its internal cache, so
+// the response is re-headed into a fresh reply for this client rather than
+// mutating the resolver's copy in place.
+func directHandler(res *resolver.Resolver) netsim.Handler {
+	return netsim.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		if len(q.Question) == 0 {
+			r := q.Reply()
+			r.RCode = dnswire.RCodeFormErr
+			return r, nil
+		}
+		msg := res.Resolve(ctx, q.Question[0].Name, q.Question[0].Type).Msg
+		out := q.Reply()
+		out.RCode = msg.RCode
+		out.RecursionAvailable = true
+		out.AuthenticData = msg.AuthenticData
+		out.Answer = append([]dnswire.RR(nil), msg.Answer...)
+		out.Authority = append([]dnswire.RR(nil), msg.Authority...)
+		if q.OPT != nil {
+			for _, e := range msg.EDEs() {
+				out.AddEDE(e.InfoCode, e.ExtraText)
+			}
+		}
+		return out, nil
+	})
 }
 
 // resolverProfile maps a CLI name to a vendor profile (Cloudflare default).

@@ -100,13 +100,16 @@ func (f *Forwarder) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire
 
 	// Re-head the upstream answer for this client: same ID/question, the
 	// upstream's RCODE, answer, and — unless configured to misbehave — its
-	// EDE options, forwarded verbatim.
+	// EDE options, forwarded verbatim. The RR slices are copied, not
+	// aliased: the upstream may share them with its own cache (a frontend
+	// cache sits behind exactly this hop), and a client-side re-head must
+	// not be able to corrupt cached messages.
 	out := q.Reply()
 	out.RCode = resp.RCode
 	out.RecursionAvailable = true
 	out.AuthenticData = resp.AuthenticData
-	out.Answer = resp.Answer
-	out.Authority = resp.Authority
+	out.Answer = append([]dnswire.RR(nil), resp.Answer...)
+	out.Authority = append([]dnswire.RR(nil), resp.Authority...)
 
 	if !f.StripEDE && q.OPT != nil {
 		for _, e := range resp.EDEs() {

@@ -120,3 +120,25 @@ func TestEndToEndThroughTestbed(t *testing.T) {
 		t.Errorf("codes = %v, want [7] through the forwarder", codes)
 	}
 }
+
+// TestClientReheadCannotCorruptUpstream pins the anti-aliasing contract: the
+// forwarder hands each client copies of the upstream's RR slices, so a
+// client-side mutation (re-heading, TTL rewrites) cannot reach a cache
+// sitting behind the forwarder.
+func TestClientReheadCannotCorruptUpstream(t *testing.T) {
+	up := &dnswire.Message{Response: true, RCode: dnswire.RCodeNoError,
+		Question: []dnswire.Question{{Name: dnswire.MustName("x.example"), Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+		Answer: []dnswire.RR{{Name: dnswire.MustName("x.example"), Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.TXT{Strings: []string{"cached"}}}}}
+	f := New(stubUpstream{resp: up})
+	q := dnswire.NewQuery(9, dnswire.MustName("x.example"), dnswire.TypeA)
+	resp, err := f.HandleDNS(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Answer[0].TTL = 1
+	resp.Answer = append(resp.Answer[:0], resp.Answer...) // re-head in place
+	if up.Answer[0].TTL != 300 {
+		t.Fatalf("client mutation reached the upstream message: TTL = %d", up.Answer[0].TTL)
+	}
+}

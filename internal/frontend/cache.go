@@ -1,0 +1,171 @@
+package frontend
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// key addresses one cached message: the question tuple plus the DO bit,
+// since a DNSSEC-requesting client receives a different message (RRSIGs,
+// AD) than a plain one.
+type key struct {
+	name  dnswire.Name
+	qtype dnswire.Type
+	do    bool
+}
+
+// shard hashes the key with FNV-1a and maps it onto one of n shards
+// (n must be a power of two).
+func (k key) shard(n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.name); i++ {
+		h ^= uint64(k.name[i])
+		h *= prime64
+	}
+	h ^= uint64(k.qtype)
+	h *= prime64
+	if k.do {
+		h ^= 0xff
+		h *= prime64
+	}
+	return int(h & uint64(n-1))
+}
+
+// entry is one cached serving outcome. Entries are immutable once stored:
+// readers copy the RR slice headers before decrementing TTLs, and the RR
+// Data values are never mutated by any serving path.
+type entry struct {
+	answer    []dnswire.RR
+	authority []dnswire.RR
+	rcode     dnswire.RCode
+	secure    bool
+	// edes are the upstream's EDE options at fill time, re-emitted on hits.
+	edes []dnswire.EDEOption
+	// isError marks an error-cache entry (the EDE 13 source).
+	isError   bool
+	storedAt  time.Time
+	expiresAt time.Time
+}
+
+// lruItem is what the per-shard LRU list holds.
+type lruItem struct {
+	k key
+	e *entry
+}
+
+// cacheShard is one lock domain: a map for lookup plus an LRU list for the
+// capacity bound. Front of the list is most recently used.
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[key]*list.Element
+	lru   *list.List
+}
+
+// Cache is the sharded serving cache. Unlike the resolver's global-mutex
+// cache (internal/resolver/cache.go), lookups here contend only within one
+// FNV-selected shard, and total size is bounded with per-shard LRU
+// eviction.
+type Cache struct {
+	shards   []cacheShard
+	perShard int
+	// onEvict, when set, observes capacity evictions (wired to Metrics).
+	onEvict func()
+}
+
+// NewCache builds a cache with the given shard count (rounded up to a power
+// of two, minimum 1) and total capacity in entries (minimum one per shard).
+func NewCache(shards, capacity int) *Cache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{shards: make([]cacheShard, n), perShard: per}
+	for i := range c.shards {
+		c.shards[i].items = make(map[key]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// get returns the entry for k and whether it is fresh. Entries past the
+// stale window are dropped. A fresh hit refreshes LRU position; a stale hit
+// does not (stale entries should not outcompete live ones for capacity).
+func (c *Cache) get(k key, now time.Time, staleWindow time.Duration) (e *entry, fresh bool, ok bool) {
+	s := &c.shards[k.shard(len(c.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.items[k]
+	if !found {
+		return nil, false, false
+	}
+	ent := el.Value.(*lruItem).e
+	switch {
+	case now.Before(ent.expiresAt):
+		s.lru.MoveToFront(el)
+		return ent, true, true
+	case now.Before(ent.expiresAt.Add(staleWindow)):
+		return ent, false, true
+	default:
+		s.lru.Remove(el)
+		delete(s.items, k)
+		return nil, false, false
+	}
+}
+
+// put stores e under k, evicting the shard's least recently used entry when
+// the per-shard capacity is exceeded.
+func (c *Cache) put(k key, e *entry) {
+	s := &c.shards[k.shard(len(c.shards))]
+	s.mu.Lock()
+	if el, found := s.items[k]; found {
+		el.Value.(*lruItem).e = e
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.items[k] = s.lru.PushFront(&lruItem{k: k, e: e})
+	var evicted bool
+	if s.lru.Len() > c.perShard {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.items, back.Value.(*lruItem).k)
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted && c.onEvict != nil {
+		c.onEvict()
+	}
+}
+
+// Len reports the number of cached entries across all shards.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += len(c.shards[i].items)
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// Flush clears every shard.
+func (c *Cache) Flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[key]*list.Element)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+}

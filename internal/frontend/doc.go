@@ -1,0 +1,35 @@
+// Package frontend is the serving layer of the reproduction: a caching DNS
+// front end that sits between clients and a recursive engine, the component
+// whose behaviour dominates the paper's wild-scan caching codes (§4.2 items
+// 11–13: Stale Answer, Stale NXDOMAIN Answer, Cached Error).
+//
+// The recursive resolver in internal/resolver answers one query at a time
+// and was built for measurement fidelity, not throughput. A production
+// resolver platform — the kind the paper scans — puts a serving layer in
+// front of the recursion:
+//
+//	client → frontend (cache, coalescing, stale, backpressure) → resolver → authorities
+//
+// This package provides that layer as a netsim.Handler, so it plugs into
+// both the simulated network and the real-UDP/TCP front ends in
+// internal/authserver. It composes five mechanisms:
+//
+//   - A sharded message cache (FNV-distributed shards, per-shard lock and
+//     LRU) bounding memory and removing the global-mutex serving bottleneck.
+//     Answers are TTL-decremented on the way out.
+//   - Singleflight query coalescing: M concurrent clients asking the same
+//     (qname, qtype, DO) trigger one upstream recursion and M answers.
+//   - RFC 8767 serve-stale: when recursion fails (timeout or SERVFAIL), an
+//     expired entry within the stale window is served with EDE 3 (Stale
+//     Answer) or EDE 19 (Stale NXDOMAIN Answer).
+//   - RFC 2308 negative caching plus an error cache: repeated failures are
+//     answered from cache with EDE 13 (Cached Error) carrying the
+//     Cloudflare-style retry-delay EXTRA-TEXT the paper observed (a bare
+//     seconds count such as "114").
+//   - Overload protection: a bounded in-flight semaphore and a per-query
+//     deadline. Excess load degrades to SERVFAIL + EDE 23 (Network Error)
+//     with EXTRA-TEXT saying why, never an unbounded goroutine pile.
+//
+// All serving decisions are counted in a Metrics registry with a lock-free
+// Snapshot accessor, exposed by cmd/edeserver via its -metrics flag.
+package frontend

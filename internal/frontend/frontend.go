@@ -1,0 +1,407 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/forwarder"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+)
+
+// Config tunes the frontend. The zero value gets production-ish defaults
+// from New.
+type Config struct {
+	// Shards is the cache shard count (rounded up to a power of two).
+	Shards int
+	// Capacity bounds the total number of cached entries.
+	Capacity int
+	// MaxInflight bounds concurrent upstream recursions; excess queries are
+	// shed with SERVFAIL + EDE 23 rather than piling up goroutines.
+	MaxInflight int
+	// QueryTimeout is the per-query upstream deadline.
+	QueryTimeout time.Duration
+	// StaleWindow is how long past expiry an entry may be served stale
+	// (RFC 8767 §5 suggests 1–3 days).
+	StaleWindow time.Duration
+	// StaleTTL is the TTL stamped on stale answers (RFC 8767 §5.2
+	// recommends 30 seconds).
+	StaleTTL uint32
+	// ErrorTTL is the error-cache lifetime (RFC 2308 §7 caps it at 5
+	// minutes); it is also the retry delay surfaced in EDE 13 EXTRA-TEXT.
+	ErrorTTL time.Duration
+	// NegativeTTL is the RFC 2308 negative-cache lifetime used when the
+	// authority section carries no SOA to derive one from.
+	NegativeTTL time.Duration
+	// MaxTTL caps how long any positive answer is cached.
+	MaxTTL time.Duration
+	// Now is the serving clock (injectable for deterministic tests).
+	Now func() time.Time
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 64
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1 << 16
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 512
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 5 * time.Second
+	}
+	if c.StaleWindow < 0 {
+		c.StaleWindow = 0
+	} else if c.StaleWindow == 0 {
+		c.StaleWindow = 24 * time.Hour
+	}
+	if c.StaleTTL == 0 {
+		c.StaleTTL = 30
+	}
+	if c.ErrorTTL <= 0 {
+		c.ErrorTTL = 30 * time.Second
+	}
+	if c.NegativeTTL <= 0 {
+		c.NegativeTTL = 60 * time.Second
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = 6 * time.Hour
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// serveMode says which path produced an answer; it drives EDE attachment.
+type serveMode int
+
+const (
+	modeFresh serveMode = iota
+	modeStale
+	modeStaleNX
+	modeCachedError
+	modeFailure
+	modeOverload
+)
+
+// served is the client-agnostic outcome of one cache/upstream round,
+// shared across coalesced waiters. The entry is immutable.
+type served struct {
+	mode serveMode
+	e    *entry
+}
+
+// Frontend is the caching serving layer: a netsim.Handler over any
+// forwarder.Upstream (usually a resolver.Resolver via
+// forwarder.ResolverUpstream).
+type Frontend struct {
+	upstream forwarder.Upstream
+	cfg      Config
+	cache    *Cache
+	flights  flightGroup
+	sem      chan struct{}
+	metrics  Metrics
+}
+
+// New builds a frontend over up.
+func New(up forwarder.Upstream, cfg Config) *Frontend {
+	cfg = cfg.withDefaults()
+	f := &Frontend{
+		upstream: up,
+		cfg:      cfg,
+		cache:    NewCache(cfg.Shards, cfg.Capacity),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+	}
+	f.cache.onEvict = func() { f.metrics.evictions.Add(1) }
+	return f
+}
+
+// Metrics returns the live counter registry.
+func (f *Frontend) Metrics() *Metrics { return &f.metrics }
+
+// CacheLen reports the number of cached entries.
+func (f *Frontend) CacheLen() int { return f.cache.Len() }
+
+// FlushCache clears the cache (for tests and operator tooling).
+func (f *Frontend) FlushCache() { f.cache.Flush() }
+
+// HandleDNS implements netsim.Handler: answer from cache when possible,
+// coalesce upstream recursions otherwise, degrade to stale or cached-error
+// data when recursion fails, and shed load when over the in-flight bound.
+func (f *Frontend) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	f.metrics.queries.Add(1)
+
+	if q.Opcode != dnswire.OpcodeQuery {
+		f.metrics.refused.Add(1)
+		r := q.Reply()
+		r.RCode = dnswire.RCodeNotImp
+		return r, nil
+	}
+	if len(q.Question) != 1 {
+		f.metrics.refused.Add(1)
+		r := q.Reply()
+		r.RCode = dnswire.RCodeFormErr
+		return r, nil
+	}
+
+	k := key{name: q.Question[0].Name, qtype: q.Question[0].Type, do: q.DO()}
+	now := f.cfg.Now()
+
+	if e, fresh, ok := f.cache.get(k, now, f.cfg.StaleWindow); ok && fresh {
+		f.metrics.hits.Add(1)
+		if e.isError {
+			f.metrics.cachedErrors.Add(1)
+			return f.reply(q, k, &served{mode: modeCachedError, e: e}, now), nil
+		}
+		return f.reply(q, k, &served{mode: modeFresh, e: e}, now), nil
+	}
+
+	// Miss (or stale entry needing a refresh attempt): coalesce so M
+	// concurrent clients asking the same question cost one recursion.
+	sv, shared := f.flights.do(k, func() *served { return f.fetch(ctx, k) })
+	if shared {
+		f.metrics.coalesced.Add(1)
+	}
+	switch sv.mode {
+	case modeStale:
+		f.metrics.staleServes.Add(1)
+	case modeStaleNX:
+		f.metrics.staleNXServes.Add(1)
+	case modeCachedError:
+		f.metrics.cachedErrors.Add(1)
+	}
+	return f.reply(q, k, sv, now), nil
+}
+
+// fetch is the flight leader's path: run one bounded upstream recursion and
+// fold the outcome into the cache, degrading to stale or error-cache data
+// on failure.
+func (f *Frontend) fetch(ctx context.Context, k key) *served {
+	// Overload shed: never queue behind MaxInflight running recursions.
+	// Stale data still rescues the response when available — shedding is a
+	// resolution failure like any other (RFC 8767 §4).
+	select {
+	case f.sem <- struct{}{}:
+	default:
+		f.metrics.overloads.Add(1)
+		now := f.cfg.Now()
+		if sv := f.staleFor(k, now); sv != nil {
+			return sv
+		}
+		return &served{mode: modeOverload, e: &entry{
+			rcode: dnswire.RCodeServFail,
+			edes: []dnswire.EDEOption{{
+				InfoCode:  uint16(ede.CodeNetworkError),
+				ExtraText: fmt.Sprintf("resolver overloaded: %d recursions in flight", f.cfg.MaxInflight),
+			}},
+			storedAt: now,
+		}}
+	}
+	defer func() { <-f.sem }()
+	leave := f.metrics.enterInflight()
+	defer leave()
+	f.metrics.misses.Add(1)
+
+	uctx, cancel := context.WithTimeout(ctx, f.cfg.QueryTimeout)
+	resp, err := f.upstream.Exchange(uctx, k.name, k.qtype)
+	hitDeadline := errors.Is(uctx.Err(), context.DeadlineExceeded)
+	cancel()
+
+	now := f.cfg.Now()
+	if err == nil && resp != nil && resp.RCode != dnswire.RCodeServFail {
+		return &served{mode: modeFresh, e: f.store(k, resp, now)}
+	}
+
+	// Recursion failed: timeout, transport error, or upstream SERVFAIL.
+	f.metrics.upstreamFails.Add(1)
+	if hitDeadline {
+		f.metrics.deadlines.Add(1)
+	}
+	if sv := f.staleFor(k, now); sv != nil {
+		return sv
+	}
+	return &served{mode: modeFailure, e: f.storeError(k, resp, err, hitDeadline, now)}
+}
+
+// staleFor returns a stale serving outcome for k when an expired non-error
+// entry is still inside the stale window.
+func (f *Frontend) staleFor(k key, now time.Time) *served {
+	e, fresh, ok := f.cache.get(k, now, f.cfg.StaleWindow)
+	if !ok || fresh || e.isError {
+		return nil
+	}
+	if e.rcode == dnswire.RCodeNXDomain {
+		return &served{mode: modeStaleNX, e: e}
+	}
+	return &served{mode: modeStale, e: e}
+}
+
+// store fills the cache from a successful upstream response and returns the
+// entry. RR slices are copied so later client-side re-heading (or resolver
+// cache internals) cannot corrupt the cached message.
+func (f *Frontend) store(k key, resp *dnswire.Message, now time.Time) *entry {
+	e := &entry{
+		answer:    append([]dnswire.RR(nil), resp.Answer...),
+		authority: append([]dnswire.RR(nil), resp.Authority...),
+		rcode:     resp.RCode,
+		secure:    resp.AuthenticData,
+		edes:      append([]dnswire.EDEOption(nil), resp.EDEs()...),
+		storedAt:  now,
+	}
+	e.expiresAt = now.Add(f.ttlFor(e))
+	f.cache.put(k, e)
+	return e
+}
+
+// ttlFor derives the cache lifetime: minimum answer TTL for positive
+// responses, RFC 2308 SOA-minimum for negative ones.
+func (f *Frontend) ttlFor(e *entry) time.Duration {
+	if len(e.answer) > 0 {
+		ttl := e.answer[0].TTL
+		for _, rr := range e.answer[1:] {
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
+		}
+		d := time.Duration(ttl) * time.Second
+		if d < time.Second {
+			d = time.Second
+		}
+		if d > f.cfg.MaxTTL {
+			d = f.cfg.MaxTTL
+		}
+		return d
+	}
+	// Negative response (NXDOMAIN or NODATA): TTL is min(SOA TTL, SOA
+	// MINIMUM) per RFC 2308 §3/§5, capped by MaxTTL; without an SOA the
+	// configured default applies.
+	for _, rr := range e.authority {
+		if soa, ok := rr.Data.(dnswire.SOA); ok {
+			d := time.Duration(min(rr.TTL, soa.Minimum)) * time.Second
+			if d < time.Second {
+				d = time.Second
+			}
+			if d > f.cfg.MaxTTL {
+				d = f.cfg.MaxTTL
+			}
+			return d
+		}
+	}
+	return f.cfg.NegativeTTL
+}
+
+// storeError fills the error cache so repeated failures are answered
+// locally with EDE 13 until ErrorTTL passes.
+func (f *Frontend) storeError(k key, resp *dnswire.Message, err error, hitDeadline bool, now time.Time) *entry {
+	e := &entry{
+		rcode:    dnswire.RCodeServFail,
+		isError:  true,
+		storedAt: now,
+	}
+	switch {
+	case resp != nil:
+		// Upstream answered SERVFAIL: keep its diagnosis (the EDEs the
+		// recursion attached) for re-emission on cache hits.
+		e.edes = append([]dnswire.EDEOption(nil), resp.EDEs()...)
+	case hitDeadline:
+		e.edes = []dnswire.EDEOption{{
+			InfoCode:  uint16(ede.CodeNetworkError),
+			ExtraText: fmt.Sprintf("upstream recursion exceeded the %s query deadline", f.cfg.QueryTimeout),
+		}}
+	default:
+		text := "upstream resolver unreachable"
+		if err != nil {
+			text = "upstream resolver unreachable: " + err.Error()
+		}
+		e.edes = []dnswire.EDEOption{{InfoCode: uint16(ede.CodeNetworkError), ExtraText: text}}
+	}
+	e.expiresAt = now.Add(f.cfg.ErrorTTL)
+	f.cache.put(k, e)
+	return e
+}
+
+// reply builds this client's response from a serving outcome: fresh copies
+// of the RR slices (TTL-adjusted), EDEs re-emitted plus the mode's own code,
+// and EDNS only when the client used EDNS.
+func (f *Frontend) reply(q *dnswire.Message, k key, sv *served, now time.Time) *dnswire.Message {
+	out := q.Reply()
+	out.RecursionAvailable = true
+	e := sv.e
+	out.RCode = e.rcode
+
+	switch sv.mode {
+	case modeFresh:
+		age := uint32(now.Sub(e.storedAt) / time.Second)
+		out.Answer = adjustTTL(e.answer, age, 0, k.do)
+		out.Authority = adjustTTL(e.authority, age, 0, k.do)
+		out.AuthenticData = e.secure && k.do
+	case modeStale, modeStaleNX:
+		// RFC 8767 §5.2: stale data goes out with a short fixed TTL so
+		// downstream caches do not hold it long.
+		out.Answer = adjustTTL(e.answer, 0, f.cfg.StaleTTL, k.do)
+		out.Authority = adjustTTL(e.authority, 0, f.cfg.StaleTTL, k.do)
+	}
+
+	for _, o := range e.edes {
+		f.addEDE(out, o.InfoCode, o.ExtraText)
+	}
+	switch sv.mode {
+	case modeStale:
+		f.addEDE(out, uint16(ede.CodeStaleAnswer), "")
+	case modeStaleNX:
+		f.addEDE(out, uint16(ede.CodeStaleNXDOMAINAnswer), "")
+	case modeCachedError:
+		// The paper's Cloudflare idiom: EXTRA-TEXT is the bare retry
+		// delay in seconds ("114") until the error cache entry expires.
+		retry := int64(e.expiresAt.Sub(now) / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		f.addEDE(out, uint16(ede.CodeCachedError), strconv.FormatInt(retry, 10))
+	}
+	return out
+}
+
+// addEDE attaches code to out when the client can receive it (EDNS present)
+// and counts the emission.
+func (f *Frontend) addEDE(out *dnswire.Message, code uint16, text string) {
+	if out.OPT == nil {
+		return
+	}
+	out.AddEDE(code, text)
+	f.metrics.countEDE(code)
+}
+
+// adjustTTL copies rrs with TTLs decremented by age (floor 1) or pinned to
+// fixed when nonzero, dropping DNSSEC signature records for non-DO clients.
+func adjustTTL(rrs []dnswire.RR, age, fixed uint32, do bool) []dnswire.RR {
+	if len(rrs) == 0 {
+		return nil
+	}
+	out := make([]dnswire.RR, 0, len(rrs))
+	for _, rr := range rrs {
+		if !do && rr.Type() == dnswire.TypeRRSIG {
+			continue
+		}
+		switch {
+		case fixed != 0:
+			rr.TTL = fixed
+		case rr.TTL > age:
+			rr.TTL -= age
+		default:
+			rr.TTL = 1
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+var _ netsim.Handler = (*Frontend)(nil)

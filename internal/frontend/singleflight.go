@@ -1,0 +1,48 @@
+package frontend
+
+import "sync"
+
+// flightGroup coalesces concurrent work for the same key: the first caller
+// runs fn, later callers block until it finishes and share the result. This
+// is the query-deduplication a busy resolver needs when a popular name
+// expires and thousands of clients ask for it in the same round trip — one
+// recursion, not thousands.
+//
+// A minimal reimplementation of golang.org/x/sync/singleflight (the module
+// has no external dependencies), returning the shared result plus whether
+// the caller was a waiter rather than the leader.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[key]*flight
+}
+
+type flight struct {
+	wg  sync.WaitGroup
+	val *served
+}
+
+// do runs fn once per key at a time. shared is true for callers that waited
+// on another caller's execution.
+func (g *flightGroup) do(k key, fn func() *served) (v *served, shared bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[key]*flight)
+	}
+	if f, ok := g.flights[k]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.val, true
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.flights[k] = f
+	g.mu.Unlock()
+
+	f.val = fn()
+	f.wg.Done()
+
+	g.mu.Lock()
+	delete(g.flights, k)
+	g.mu.Unlock()
+	return f.val, false
+}

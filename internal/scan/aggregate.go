@@ -28,6 +28,9 @@ func Summarize(results []Result) *Aggregate {
 		RCodes:     make(map[dnswire.RCode]int),
 	}
 	for _, r := range results {
+		if r.Skipped {
+			continue // cancelled before resolution: no observation to count
+		}
 		a.Total++
 		a.RCodes[r.RCode]++
 		if !r.HasEDE() {

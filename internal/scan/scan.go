@@ -25,6 +25,9 @@ type Result struct {
 	ExtraTexts []string
 	// Secure reports a validated chain (AD).
 	Secure bool
+	// Skipped marks a domain the scan never resolved because the context
+	// was cancelled first; its other fields are zero.
+	Skipped bool
 }
 
 // HasEDE reports whether the domain triggered at least one EDE.
@@ -46,7 +49,8 @@ func NewScanner(r *resolver.Resolver) *Scanner {
 }
 
 // Scan resolves the A record of every name and returns results in input
-// order.
+// order. Cancelling ctx stops the scan promptly: names not yet resolved are
+// returned with Skipped set instead of being drained through the resolver.
 func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
 	workers := s.Workers
 	if workers <= 0 {
@@ -63,6 +67,10 @@ func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					results[i] = Result{Domain: names[i], Skipped: true}
+					continue
+				}
 				res := s.Resolver.Resolve(ctx, names[i], dnswire.TypeA)
 				out := Result{
 					Domain: names[i],
@@ -77,8 +85,16 @@ func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
 			}
 		}()
 	}
+dispatch:
 	for i := range names {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(names); j++ {
+				results[j] = Result{Domain: names[j], Skipped: true}
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()

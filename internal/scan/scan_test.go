@@ -351,3 +351,43 @@ func TestWhatIfFixTopNameservers(t *testing.T) {
 		t.Error("repair had no measurable effect")
 	}
 }
+
+// TestScanHonorsCancellation checks that a cancelled context stops the scan
+// promptly: undispatched names come back Skipped rather than being drained
+// through the resolver, and the aggregation ignores them.
+func TestScanHonorsCancellation(t *testing.T) {
+	w, _ := sharedWildScan(t)
+	r := resolver.New(w.Net, w.Roots, w.Anchor, resolver.ProfileCloudflare())
+	r.Now = w.Now
+	s := NewScanner(r)
+	s.Workers = 4
+
+	names := make([]dnswire.Name, len(w.Pop.Domains))
+	for i, d := range w.Pop.Domains {
+		names[i] = d.Name
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: everything must be skipped fast
+	results := s.Scan(ctx, names)
+	if len(results) != len(names) {
+		t.Fatalf("got %d results for %d names", len(results), len(names))
+	}
+	skipped := 0
+	for i, res := range results {
+		if res.Skipped {
+			skipped++
+			if res.Domain != names[i] {
+				t.Fatalf("skipped result %d carries domain %q, want %q", i, res.Domain, names[i])
+			}
+		}
+	}
+	// The workers may race the cancellation for the first few dispatches;
+	// the overwhelming majority must be skipped, untouched by the resolver.
+	if skipped < len(names)-s.Workers {
+		t.Fatalf("only %d/%d names skipped after cancellation", skipped, len(names))
+	}
+	if agg := Summarize(results); agg.Total != len(names)-skipped {
+		t.Fatalf("aggregate counted %d observations, want %d (skipped must not count)", agg.Total, len(names)-skipped)
+	}
+}
