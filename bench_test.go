@@ -12,8 +12,12 @@ package edelab
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -163,6 +167,162 @@ func BenchmarkScannerThroughput(b *testing.B) {
 		d := domains[i%len(domains)]
 		r.Resolve(context.Background(), d.Name, dnswire.TypeA)
 	}
+}
+
+// scanWorkerCounts are the concurrency levels of the parallel-scan benches
+// and the BENCH_scan.json snapshot (the §5 scan-rate trajectory).
+var scanWorkerCounts = []int{1, 8, 32, 128}
+
+// runParallelResolves drives b.N resolutions through a single shared
+// resolver with exactly `workers` goroutines pulling work from an atomic
+// counter — the contention shape of the zdns-style scanner, without the
+// scheduler noise of b.RunParallel's GOMAXPROCS coupling.
+func runParallelResolves(b *testing.B, r *resolver.Resolver, domains []*population.Domain, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var idx atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := idx.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				d := domains[int(i)%len(domains)]
+				r.Resolve(context.Background(), d.Name, dnswire.TypeA)
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "resolutions/s")
+}
+
+// BenchmarkScannerThroughputParallel measures the scan hot path under
+// concurrency: many workers sharing one resolver (and so one cache and one
+// netsim.Network), as scan.Scanner runs it. The worker-count ladder makes
+// lock convoys visible: a serialized cache or network mutex flattens the
+// curve well before 32 workers.
+func BenchmarkScannerThroughputParallel(b *testing.B) {
+	_, w, _ := fixtures(b)
+	for _, workers := range scanWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := resolver.New(w.Net, w.Roots, w.Anchor, resolver.ProfileCloudflare())
+			r.Now = w.Now
+			runParallelResolves(b, r, w.Pop.Domains, workers)
+		})
+	}
+}
+
+// --- BENCH_scan.json snapshot ---
+
+// benchSnapshot is the schema of BENCH_scan.json: one measured entry per
+// tracked metric, plus the pre-optimization baseline kept for comparison.
+type benchSnapshot struct {
+	Note     string                 `json:"note"`
+	Go       string                 `json:"go"`
+	CPUs     int                    `json:"cpus"`
+	Baseline map[string]benchPoint  `json:"baseline,omitempty"`
+	Current  map[string]benchPoint  `json:"current"`
+}
+
+// benchPoint is one benchmark measurement.
+type benchPoint struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	ResolutionsS float64 `json:"resolutions_per_sec,omitempty"`
+}
+
+func toPoint(r testing.BenchmarkResult) benchPoint {
+	p := benchPoint{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if p.NsPerOp > 0 {
+		p.ResolutionsS = 1e9 / p.NsPerOp
+	}
+	return p
+}
+
+// TestWriteBenchScanSnapshot regenerates BENCH_scan.json. It only runs when
+// BENCH_SNAPSHOT=1 is set (it is a measurement, not a correctness check):
+//
+//	BENCH_SNAPSHOT=1 go test -run TestWriteBenchScanSnapshot .
+//
+// An existing baseline section in the file is preserved, so the snapshot
+// tracks the perf trajectory against the pre-optimization numbers; delete
+// the file to re-baseline.
+func TestWriteBenchScanSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to (re)generate BENCH_scan.json")
+	}
+	_, w, _ := fixtures(t)
+
+	cur := map[string]benchPoint{}
+
+	msg := dnswire.NewQuery(0x1234, dnswire.MustName("valid.extended-dns-errors.com"), dnswire.TypeA)
+	msg.Response = true
+	msg.AddEDE(9, "no SEP matching the DS found for valid.extended-dns-errors.com.")
+	cur["dnswire.Message.Pack"] = toPoint(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := msg.Pack(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	wire, err := msg.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur["dnswire.Unpack"] = toPoint(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dnswire.Unpack(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	for _, workers := range scanWorkerCounts {
+		workers := workers
+		name := fmt.Sprintf("scan.Resolve/workers=%d", workers)
+		cur[name] = toPoint(testing.Benchmark(func(b *testing.B) {
+			r := resolver.New(w.Net, w.Roots, w.Anchor, resolver.ProfileCloudflare())
+			r.Now = w.Now
+			runParallelResolves(b, r, w.Pop.Domains, workers)
+		}))
+	}
+
+	snap := benchSnapshot{
+		Note: "scan-path performance trajectory; regenerate with BENCH_SNAPSHOT=1 go test -run TestWriteBenchScanSnapshot .",
+		Go:   runtime.Version(),
+		CPUs: runtime.NumCPU(),
+	}
+	if prev, err := os.ReadFile("BENCH_scan.json"); err == nil {
+		var old benchSnapshot
+		if json.Unmarshal(prev, &old) == nil && old.Baseline != nil {
+			snap.Baseline = old.Baseline
+		}
+	}
+	if snap.Baseline == nil {
+		snap.Baseline = cur
+	}
+	snap.Current = cur
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scan.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_scan.json: %d metrics", len(cur))
 }
 
 // --- ablations (DESIGN.md §5) ---

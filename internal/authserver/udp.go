@@ -27,6 +27,10 @@ func ServeUDP(ctx context.Context, conn net.PacketConn, h netsim.Handler) error 
 	}()
 
 	buf := make([]byte, 65535)
+	// Responses are packed into one reusable buffer: Unpack copies everything
+	// out of its input, so nothing written to out in a previous iteration is
+	// still referenced by the time the next response is packed.
+	out := make([]byte, 0, 4096)
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
@@ -47,17 +51,19 @@ func ServeUDP(ctx context.Context, conn net.PacketConn, h netsim.Handler) error 
 		if query.OPT != nil && query.OPT.UDPSize > 512 {
 			limit = int(query.OPT.UDPSize)
 		}
-		wire, err := resp.Pack()
+		wire, err := resp.AppendPack(out[:0])
 		if err != nil {
 			continue
 		}
+		out = wire[:0]
 		if len(wire) > limit {
 			trunc := *resp
 			trunc.Truncated = true
 			trunc.Answer, trunc.Authority, trunc.Additional = nil, nil, nil
-			if wire, err = trunc.Pack(); err != nil {
+			if wire, err = trunc.AppendPack(out[:0]); err != nil {
 				continue
 			}
+			out = wire[:0]
 		}
 		if _, err := conn.WriteTo(wire, addr); err != nil {
 			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {

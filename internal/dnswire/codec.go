@@ -3,63 +3,182 @@ package dnswire
 import (
 	"encoding/binary"
 	"strings"
+	"sync"
 )
+
+// maxCompressTargets bounds the number of name-suffix offsets a builder
+// remembers for compression. Beyond the cap, later names are simply emitted
+// without pointers — the encoding stays valid, it is just a little larger.
+// DNS messages in this system carry a few dozen names at most, so the cap is
+// effectively never hit.
+const maxCompressTargets = 128
 
 // builder appends wire-format data to a buffer and tracks name-compression
 // targets. Compression is applied only where RFC 3597 permits (owner names
 // and the names inside pre-RFC-3597 RDATA: NS, CNAME, SOA, PTR, MX).
+//
+// Unlike the map-based approach, compression targets are a fixed array of
+// buffer offsets: matching walks the raw label bytes already written, so a
+// Pack performs no per-message bookkeeping allocations. Builders are pooled;
+// use newBuilder/release in pairs.
 type builder struct {
 	buf      []byte
+	base     int // offset of the message start within buf (AppendPack)
 	compress bool
-	offsets  map[string]int // canonical name -> offset of its first encoding
+	nameOffs [maxCompressTargets]uint16 // message-relative suffix offsets
+	nOffs    int
 }
 
-func newBuilder(compress bool) *builder {
-	return &builder{compress: compress, offsets: make(map[string]int)}
+var builderPool = sync.Pool{New: func() any { return new(builder) }}
+
+// newBuilder fetches a pooled builder appending to buf (nil for a fresh
+// buffer). Pair with release.
+func newBuilder(compress bool, buf []byte) *builder {
+	b := builderPool.Get().(*builder)
+	b.buf = buf
+	b.base = len(buf)
+	b.compress = compress
+	b.nOffs = 0
+	return b
+}
+
+// release returns the built bytes and recycles the builder. The builder must
+// not be used afterwards.
+func (b *builder) release() []byte {
+	out := b.buf
+	b.buf = nil
+	builderPool.Put(b)
+	return out
 }
 
 func (b *builder) uint8(v uint8)   { b.buf = append(b.buf, v) }
 func (b *builder) uint16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
 func (b *builder) uint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
 func (b *builder) bytes(p []byte)  { b.buf = append(b.buf, p...) }
+func (b *builder) str(s string)    { b.buf = append(b.buf, s...) }
+
+// beginLength16 reserves a 16-bit length slot (RDLENGTH, OPTION-LENGTH) and
+// returns its position for endLength16.
+func (b *builder) beginLength16() int {
+	at := len(b.buf)
+	b.uint16(0)
+	return at
+}
+
+// endLength16 patches the slot reserved at `at` with the number of bytes
+// appended since.
+func (b *builder) endLength16(at int) {
+	binary.BigEndian.PutUint16(b.buf[at:], uint16(len(b.buf)-at-2))
+}
 
 // name encodes n, using compression pointers when allowed and profitable.
 func (b *builder) name(n Name, allowCompress bool) {
-	labels := n.Labels()
-	for i := range labels {
-		rest := Name(strings.Join(labels[i:], ".") + ".")
-		key := string(rest)
-		if b.compress && allowCompress {
-			if off, ok := b.offsets[key]; ok && off < 0x4000 {
-				b.uint16(0xC000 | uint16(off))
-				return
+	s := string(n)
+	if len(s) == 0 || s == "." {
+		b.uint8(0)
+		return
+	}
+	if strings.IndexByte(s, '\\') >= 0 {
+		b.nameEscaped(s)
+		return
+	}
+	// Canonical names are lowercase, dot-terminated, escape-free: each label
+	// is the run up to the next dot, and its bytes go to the wire verbatim.
+	for len(s) > 0 {
+		if b.compress {
+			if allowCompress {
+				if off, ok := b.findSuffix(s); ok {
+					b.uint16(0xC000 | uint16(off))
+					return
+				}
+			}
+			if off := len(b.buf) - b.base; off < 0x4000 && b.nOffs < maxCompressTargets {
+				b.nameOffs[b.nOffs] = uint16(off)
+				b.nOffs++
 			}
 		}
-		if len(b.buf) < 0x4000 {
-			b.offsets[key] = len(b.buf)
-		}
-		raw := unescapeLabel(labels[i])
-		b.uint8(uint8(len(raw)))
-		b.bytes(raw)
+		dot := strings.IndexByte(s, '.')
+		b.uint8(uint8(dot))
+		b.str(s[:dot])
+		s = s[dot+1:]
 	}
 	b.uint8(0)
 }
 
-// lengthPrefixed16 reserves a 16-bit length slot, runs fn, then patches the
-// slot with the number of bytes fn appended. Used for RDLENGTH.
-func (b *builder) lengthPrefixed16(fn func()) {
-	at := len(b.buf)
-	b.uint16(0)
-	fn()
-	binary.BigEndian.PutUint16(b.buf[at:], uint16(len(b.buf)-at-2))
+// nameEscaped handles the rare names carrying \. or \DDD escapes. They are
+// emitted without compression and never recorded as targets: their raw label
+// bytes could mimic the label structure of a plain name, which would make
+// raw-buffer suffix matching unsound.
+func (b *builder) nameEscaped(s string) {
+	labels, err := splitLabels(s)
+	if err != nil {
+		// name() only sees validated Names; a malformed one degrades to root.
+		b.uint8(0)
+		return
+	}
+	for _, l := range labels {
+		b.uint8(uint8(len(l)))
+		b.bytes(l)
+	}
+	b.uint8(0)
+}
+
+// findSuffix looks for an earlier encoding of the presentation-form suffix s
+// ("b.c.") among the recorded compression targets and returns its
+// message-relative offset.
+func (b *builder) findSuffix(s string) (int, bool) {
+	for i := 0; i < b.nOffs; i++ {
+		off := int(b.nameOffs[i])
+		if b.nameAtMatches(off, s) {
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// nameAtMatches walks the (possibly pointer-terminated) name encoded at the
+// message-relative offset off and reports whether it spells exactly s.
+func (b *builder) nameAtMatches(off int, s string) bool {
+	for hops := 0; hops < 128; hops++ {
+		at := b.base + off
+		if at >= len(b.buf) {
+			return false
+		}
+		c := b.buf[at]
+		switch {
+		case c == 0:
+			return len(s) == 0
+		case c&0xC0 == 0xC0:
+			if at+2 > len(b.buf) {
+				return false
+			}
+			off = int(binary.BigEndian.Uint16(b.buf[at:]) & 0x3FFF)
+		case c&0xC0 != 0:
+			return false
+		default:
+			l := int(c)
+			if at+1+l > len(b.buf) || len(s) < l+1 || s[l] != '.' {
+				return false
+			}
+			if string(b.buf[at+1:at+1+l]) != s[:l] {
+				return false
+			}
+			off += 1 + l
+			s = s[l+1:]
+		}
+	}
+	return false
 }
 
 // parser reads wire-format data. Compression pointers may target any earlier
 // byte of the message, so the parser keeps the whole message around.
+// Parsers are pooled by Unpack.
 type parser struct {
 	msg []byte
 	off int
 }
+
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
 
 func (p *parser) remaining() int { return len(p.msg) - p.off }
 
@@ -114,7 +233,68 @@ func (p *parser) name() (Name, error) {
 // decodeNameAt decodes the name at offset off in msg and returns it together
 // with the offset of the first byte after the name's encoding at off.
 func decodeNameAt(msg []byte, off int) (Name, int, error) {
-	var b strings.Builder
+	if n, next, ok := decodeNamePlain(msg, off); ok {
+		return n, next, nil
+	}
+	return decodeNameSlow(msg, off)
+}
+
+// decodeNamePlain is the fast path: an uncompressed name whose labels are
+// already lowercase and need no presentation-form escaping — the only kind
+// this system's own servers and resolvers emit. It builds the presentation
+// string in a single allocation, or reports ok=false to fall back to the
+// general decoder.
+func decodeNamePlain(msg []byte, off int) (Name, int, bool) {
+	start := off
+	wireLen := 1
+	total := 0 // presentation length: label bytes plus one dot per label
+	for {
+		if off >= len(msg) {
+			return "", 0, false
+		}
+		c := msg[off]
+		if c == 0 {
+			if total == 0 {
+				return Root, off + 1, true
+			}
+			break
+		}
+		if c&0xC0 != 0 {
+			return "", 0, false
+		}
+		l := int(c)
+		wireLen += l + 1
+		if off+1+l > len(msg) || wireLen > MaxNameLength {
+			return "", 0, false
+		}
+		for _, ch := range msg[off+1 : off+1+l] {
+			if ch < '!' || ch > '~' || ch == '.' || ch == '\\' || ('A' <= ch && ch <= 'Z') {
+				return "", 0, false
+			}
+		}
+		total += l + 1
+		off += 1 + l
+	}
+	out := make([]byte, 0, total)
+	for o := start; ; {
+		l := int(msg[o])
+		if l == 0 {
+			break
+		}
+		out = append(out, msg[o+1:o+1+l]...)
+		out = append(out, '.')
+		o += 1 + l
+	}
+	return Name(out), off + 1, true
+}
+
+// decodeNameSlow handles compression pointers, uppercase labels, and bytes
+// needing escapes. It builds the presentation form in a stack scratch buffer
+// sized for the worst case (every byte escaped to \DDD) and allocates once
+// for the final string.
+func decodeNameSlow(msg []byte, off int) (Name, int, error) {
+	var scratch [4 * MaxNameLength]byte
+	out := scratch[:0]
 	ptrBudget := 128 // generous loop guard
 	next := -1       // offset after the name at the original position
 	totalLen := 1
@@ -128,10 +308,10 @@ func decodeNameAt(msg []byte, off int) (Name, int, error) {
 			if next < 0 {
 				next = off + 1
 			}
-			if b.Len() == 0 {
+			if len(out) == 0 {
 				return Root, next, nil
 			}
-			return Name(b.String()), next, nil
+			return Name(out), next, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrTruncatedName
@@ -159,9 +339,28 @@ func decodeNameAt(msg []byte, off int) (Name, int, error) {
 			if totalLen > MaxNameLength {
 				return "", 0, ErrNameTooLong
 			}
-			b.Write(lowerLabel(msg[off+1 : off+1+l]))
-			b.WriteByte('.')
+			out = appendPresentationLabel(out, msg[off+1:off+1+l])
+			out = append(out, '.')
 			off += 1 + l
 		}
 	}
+}
+
+// appendPresentationLabel lower-cases raw and escapes the bytes that are
+// special in presentation form.
+func appendPresentationLabel(dst []byte, raw []byte) []byte {
+	for _, c := range raw {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		switch {
+		case c == '.' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c < '!' || c > '~':
+			dst = append(dst, '\\', '0'+c/100, '0'+c/10%10, '0'+c%10)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }

@@ -53,7 +53,7 @@ func (EDEOption) Code() OptionCode { return OptionCodeEDE }
 
 func (e EDEOption) encodeOption(b *builder) {
 	b.uint16(e.InfoCode)
-	b.bytes([]byte(e.ExtraText))
+	b.str(e.ExtraText)
 }
 
 func (e EDEOption) String() string {
@@ -113,7 +113,9 @@ func (OPT) Type() Type { return TypeOPT }
 func (o OPT) encode(b *builder) {
 	for _, opt := range o.Options {
 		b.uint16(uint16(opt.Code()))
-		b.lengthPrefixed16(func() { opt.encodeOption(b) })
+		at := b.beginLength16()
+		opt.encodeOption(b)
+		b.endLength16(at)
 	}
 }
 

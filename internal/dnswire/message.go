@@ -105,19 +105,26 @@ func (m *Message) AddEDE(infoCode uint16, extraText string) {
 }
 
 // Pack serializes the message with name compression.
-func (m *Message) Pack() ([]byte, error) { return m.pack(true) }
+func (m *Message) Pack() ([]byte, error) { return m.pack(true, nil) }
+
+// AppendPack serializes the message with name compression, appending to buf
+// (which may be nil or a truncated reusable buffer) and returning the
+// extended slice. Hot paths — netsim's double codec round trip per hop, the
+// authoritative UDP loop — pass a pooled buffer so packing allocates nothing.
+// Compression pointers are relative to the message start (len(buf) at entry),
+// so the packed message is position-independent within the returned slice.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) { return m.pack(true, buf) }
 
 // PackNoCompress serializes without name compression (for ablation
 // measurements and canonical encodings).
-func (m *Message) PackNoCompress() ([]byte, error) { return m.pack(false) }
+func (m *Message) PackNoCompress() ([]byte, error) { return m.pack(false, nil) }
 
-func (m *Message) pack(compress bool) ([]byte, error) {
-	b := newBuilder(compress)
-
+func (m *Message) pack(compress bool, buf []byte) ([]byte, error) {
 	rcode := m.RCode
 	if rcode > 0xF && m.OPT == nil {
 		return nil, ErrExtendedRCodeNoOPT
 	}
+	b := newBuilder(compress, buf)
 
 	var flags uint16
 	if m.Response {
@@ -171,22 +178,28 @@ func (m *Message) pack(compress bool) ([]byte, error) {
 		rr.encode(b)
 	}
 	if m.OPT != nil {
-		opt := *m.OPT
-		opt.ExtendedRCode = uint8(rcode >> 4)
-		rr := RR{
-			Name:  Root,
-			Class: Class(opt.UDPSize),
-			TTL:   opt.ttlBits(),
-			Data:  opt,
-		}
-		rr.encode(b)
+		// The OPT pseudo-RR is encoded inline (no RR/RData boxing): root
+		// owner, class = UDP size, TTL = extended-RCODE | version | DO.
+		o := m.OPT
+		ttl := o.ttlBits()&^(uint32(0xFF)<<24) | uint32(uint8(rcode>>4))<<24
+		b.uint8(0)
+		b.uint16(uint16(TypeOPT))
+		b.uint16(o.UDPSize)
+		b.uint32(ttl)
+		at := b.beginLength16()
+		o.encode(b)
+		b.endLength16(at)
 	}
-	return b.buf, nil
+	return b.release(), nil
 }
 
-// Unpack parses a wire-format DNS message.
+// Unpack parses a wire-format DNS message. The result never aliases data:
+// every decoded name, text string, and RDATA byte slice is copied out, so
+// callers may reuse or overwrite data immediately.
 func Unpack(data []byte) (*Message, error) {
-	p := &parser{msg: data}
+	p := parserPool.Get().(*parser)
+	p.msg, p.off = data, 0
+	defer func() { p.msg = nil; parserPool.Put(p) }()
 	m := &Message{}
 
 	id, err := p.uint16()
@@ -225,6 +238,13 @@ func Unpack(data []byte) (*Message, error) {
 		return nil, err
 	}
 
+	// Preallocate sections from the header counts, bounded by what the
+	// remaining bytes could possibly hold (a question needs ≥ 5 bytes, an RR
+	// ≥ 11) so a forged header cannot force a huge allocation.
+	if n := min(int(qd), p.remaining()/5); n > 0 {
+		m.Question = make([]Question, 0, n)
+	}
+
 	for i := 0; i < int(qd); i++ {
 		name, err := p.name()
 		if err != nil {
@@ -250,6 +270,9 @@ func Unpack(data []byte) (*Message, error) {
 		{int(ar), &m.Additional},
 	}
 	for _, sec := range sections {
+		if n := min(sec.count, p.remaining()/11); n > 0 {
+			*sec.dst = make([]RR, 0, n)
+		}
 		for i := 0; i < sec.count; i++ {
 			rr, opt, err := decodeRR(p)
 			if err != nil {

@@ -187,7 +187,7 @@ func TestTypeBitmapRoundTripProperty(t *testing.T) {
 		if len(types) == 0 {
 			return true
 		}
-		b := newBuilder(false)
+		b := newBuilder(false, nil)
 		encodeTypeBitmap(b, types)
 		p := &parser{msg: b.buf}
 		got, err := decodeTypeBitmap(p, len(b.buf))
@@ -283,7 +283,7 @@ func TestKeyTagRFC4034Vector(t *testing.T) {
 	// Key tag must be stable for a fixed key; check the algorithm's
 	// accumulate-and-fold behaviour against a manual computation.
 	k := DNSKEY{Flags: 256, Protocol: 3, Algorithm: 5, PublicKey: []byte{1, 2, 3, 4}}
-	b := newBuilder(false)
+	b := newBuilder(false, nil)
 	k.encode(b)
 	var ac uint32
 	for i, c := range b.buf {
@@ -322,7 +322,7 @@ func TestRRSIGSignedDataExcludesSignature(t *testing.T) {
 		Expiration: 100, Inception: 50, KeyTag: 1,
 		SignerName: MustName("example.com"), Signature: []byte{1, 2, 3}}
 	data := s.SignedData()
-	full := newBuilder(false)
+	full := newBuilder(false, nil)
 	s.encode(full)
 	if len(data) != len(full.buf)-3 {
 		t.Errorf("SignedData length %d, want %d", len(data), len(full.buf)-3)

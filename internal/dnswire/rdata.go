@@ -40,18 +40,20 @@ func (r RR) encode(b *builder) {
 	b.uint16(uint16(r.Type()))
 	b.uint16(uint16(r.Class))
 	b.uint32(r.TTL)
-	b.lengthPrefixed16(func() { r.Data.encode(b) })
+	at := b.beginLength16()
+	r.Data.encode(b)
+	b.endLength16(at)
 }
 
 // CanonicalWire returns the canonical (RFC 4034 §6.2) uncompressed wire form
 // of the record, used for DNSSEC signing and verification. ttl overrides the
 // record TTL (signers use the RRSIG original TTL).
 func (r RR) CanonicalWire(ttl uint32) []byte {
-	b := newBuilder(false)
+	b := newBuilder(false, nil)
 	rr := r
 	rr.TTL = ttl
 	rr.encode(b)
-	return b.buf
+	return b.release()
 }
 
 // --- Address records ---
@@ -169,11 +171,11 @@ func (t TXT) encode(b *builder) {
 	for _, s := range t.Strings {
 		for len(s) > 255 {
 			b.uint8(255)
-			b.bytes([]byte(s[:255]))
+			b.str(s[:255])
 			s = s[255:]
 		}
 		b.uint8(uint8(len(s)))
-		b.bytes([]byte(s))
+		b.str(s)
 	}
 }
 
@@ -246,7 +248,7 @@ func (k DNSKEY) IsSEP() bool { return k.Flags&DNSKEYFlagSEP != 0 }
 
 // KeyTag computes the RFC 4034 Appendix B key tag of the key.
 func (k DNSKEY) KeyTag() uint16 {
-	b := newBuilder(false)
+	b := newBuilder(false, nil)
 	k.encode(b)
 	var ac uint32
 	for i, c := range b.buf {
@@ -256,6 +258,7 @@ func (k DNSKEY) KeyTag() uint16 {
 			ac += uint32(c) << 8
 		}
 	}
+	b.release()
 	ac += ac >> 16 & 0xFFFF
 	return uint16(ac & 0xFFFF)
 }
@@ -298,11 +301,11 @@ func (s RRSIG) String() string {
 // i.e. the prefix of the data over which the signature is computed
 // (RFC 4034 §3.1.8.1).
 func (s RRSIG) SignedData() []byte {
-	b := newBuilder(false)
+	b := newBuilder(false, nil)
 	c := s
 	c.Signature = nil
 	c.encode(b)
-	return b.buf
+	return b.release()
 }
 
 // NSEC provides authenticated denial of existence (RFC 4034 §4).

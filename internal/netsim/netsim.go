@@ -12,14 +12,22 @@
 // point; queries to them time out. This is what turns the testbed's invalid
 // glue records (Table 3 groups 6 and 7) into the lame delegations the paper
 // observes.
+//
+// The query path is designed for many concurrent scan workers: statistics are
+// lock-free atomic counters, the endpoint table is behind a read-write lock
+// that writers (topology changes) take rarely, and the wire buffers for the
+// per-hop pack/unpack round trips come from a pool. Only the loss-process RNG
+// sits behind a mutex, and it is touched only when a loss rate is configured.
 package netsim
 
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand/v2"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
@@ -58,11 +66,19 @@ type Stats struct {
 
 // Network is an in-memory internet of DNS endpoints.
 type Network struct {
-	mu        sync.RWMutex
+	mu        sync.RWMutex // guards endpoints (read-locked on the query path)
 	endpoints map[netip.Addr]Handler
-	lossRate  float64
-	rng       *rand.Rand
-	stats     Stats
+
+	lossBits atomic.Uint64 // math.Float64bits of the loss probability
+	rngMu    sync.Mutex    // guards rng; taken only while loss is enabled
+	rng      *rand.Rand
+
+	queries     atomic.Uint64
+	unroutable  atomic.Uint64
+	unreachable atomic.Uint64
+	lost        atomic.Uint64
+	answered    atomic.Uint64
+	errors      atomic.Uint64
 }
 
 // New creates an empty network. seed drives the (optional) loss process.
@@ -75,9 +91,7 @@ func New(seed uint64) *Network {
 
 // SetLossRate configures the probability in [0,1) that any query is dropped.
 func (n *Network) SetLossRate(p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.lossRate = p
+	n.lossBits.Store(math.Float64bits(p))
 }
 
 // Register attaches handler h to addr, replacing any previous endpoint.
@@ -96,64 +110,77 @@ func (n *Network) Deregister(addr netip.Addr) {
 
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.stats
+	return Stats{
+		Queries:     n.queries.Load(),
+		Unroutable:  n.unroutable.Load(),
+		Unreachable: n.unreachable.Load(),
+		Lost:        n.lost.Load(),
+		Answered:    n.answered.Load(),
+		Errors:      n.errors.Load(),
+	}
+}
+
+// wirePool recycles the buffers the per-hop codec round trips pack into.
+// Unpack copies everything it returns, so a buffer is reusable the moment
+// Unpack comes back.
+var wirePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// roundTrip packs m and re-parses the bytes, so the full codec runs on every
+// simulated exchange. The intermediate wire image lives in a pooled buffer.
+func roundTrip(m *dnswire.Message) (*dnswire.Message, error) {
+	bp := wirePool.Get().(*[]byte)
+	wire, err := m.AppendPack((*bp)[:0])
+	if err != nil {
+		wirePool.Put(bp)
+		return nil, err
+	}
+	parsed, err := dnswire.Unpack(wire)
+	*bp = wire
+	wirePool.Put(bp)
+	return parsed, err
 }
 
 // Query sends msg to the endpoint at server and returns its response. The
 // message round-trips through wire format in both directions so that every
 // exchange exercises the real codec.
 func (n *Network) Query(ctx context.Context, server netip.Addr, msg *dnswire.Message) (*dnswire.Message, error) {
-	n.mu.Lock()
-	n.stats.Queries++
+	n.queries.Add(1)
 	if !ipspecial.Routable(server) {
-		n.stats.Unroutable++
-		n.mu.Unlock()
+		n.unroutable.Add(1)
 		return nil, ErrTimeout
 	}
+	n.mu.RLock()
 	h, ok := n.endpoints[server]
+	n.mu.RUnlock()
 	if !ok {
-		n.stats.Unreachable++
-		n.mu.Unlock()
+		n.unreachable.Add(1)
 		return nil, ErrTimeout
 	}
-	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
-		n.stats.Lost++
-		n.mu.Unlock()
-		return nil, ErrTimeout
+	if rate := math.Float64frombits(n.lossBits.Load()); rate > 0 {
+		n.rngMu.Lock()
+		drop := n.rng.Float64() < rate
+		n.rngMu.Unlock()
+		if drop {
+			n.lost.Add(1)
+			return nil, ErrTimeout
+		}
 	}
-	n.mu.Unlock()
 
-	wire, err := msg.Pack()
-	if err != nil {
-		return nil, err
-	}
-	parsed, err := dnswire.Unpack(wire)
+	parsed, err := roundTrip(msg)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := h.HandleDNS(ctx, parsed)
 	if err != nil || resp == nil {
-		n.count(func(s *Stats) { s.Errors++ })
+		n.errors.Add(1)
 		return nil, ErrTimeout
 	}
-	respWire, err := resp.Pack()
+	out, err := roundTrip(resp)
 	if err != nil {
 		return nil, err
 	}
-	out, err := dnswire.Unpack(respWire)
-	if err != nil {
-		return nil, err
-	}
-	n.count(func(s *Stats) { s.Answered++ })
+	n.answered.Add(1)
 	return out, nil
-}
-
-func (n *Network) count(f func(*Stats)) {
-	n.mu.Lock()
-	f(&n.stats)
-	n.mu.Unlock()
 }
 
 // --- behaviour endpoints: the broken servers observed in the wild scan ---
@@ -179,17 +206,22 @@ func StaticRCode(rcode dnswire.RCode) Handler {
 // NoEDNS wraps h and strips the OPT record from its responses, modelling the
 // pre-EDNS servers behind §4.2 item 6 ("Invalid Data": servers that neither
 // return FORMERR nor echo the OPT record).
+//
+// Dropping the OPT also drops the extended-RCODE bits it would have carried
+// (RFC 6891 §6.1.3): the response RCODE is clamped to its low 4 bits, exactly
+// as a pre-EDNS server that never knew the upper bits would answer. The
+// wrapped handler's message is not mutated — handlers may return shared or
+// cached responses.
 func NoEDNS(h Handler) Handler {
 	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 		resp, err := h.HandleDNS(ctx, q)
 		if err != nil {
 			return nil, err
 		}
-		resp.OPT = nil
-		if resp.RCode > 0xF {
-			resp.RCode &= 0xF
-		}
-		return resp, nil
+		stripped := *resp
+		stripped.OPT = nil
+		stripped.RCode &= 0xF
+		return &stripped, nil
 	})
 }
 
@@ -211,16 +243,12 @@ func MismatchedQuestion(h Handler) Handler {
 
 // Flaky alternates between h and broken on successive queries, modelling the
 // inconsistent resolutions of §4.2 item 12 (dual signature sets: NOERROR when
-// the valid pair is served, SERVFAIL otherwise).
+// the valid pair is served, SERVFAIL otherwise). The turn counter is atomic,
+// so concurrent scan workers never contend on a lock here.
 func Flaky(h, broken Handler) Handler {
-	var mu sync.Mutex
-	turn := 0
+	var turn atomic.Int64
 	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
-		mu.Lock()
-		turn++
-		useBroken := turn%2 == 0
-		mu.Unlock()
-		if useBroken {
+		if turn.Add(1)%2 == 0 {
 			return broken.HandleDNS(ctx, q)
 		}
 		return h.HandleDNS(ctx, q)
@@ -244,14 +272,9 @@ func Slow(h Handler, d time.Duration) Handler {
 // domains (§4.2 item 11): healthy when background traffic warmed resolver
 // caches, broken by the time of the scan.
 func DieAfter(n int, h, then Handler) Handler {
-	var mu sync.Mutex
-	served := 0
+	var served atomic.Int64
 	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
-		mu.Lock()
-		served++
-		alive := served <= n
-		mu.Unlock()
-		if alive {
+		if served.Add(1) <= int64(n) {
 			return h.HandleDNS(ctx, q)
 		}
 		return then.HandleDNS(ctx, q)

@@ -3,6 +3,7 @@ package netsim
 import (
 	"context"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -148,5 +149,90 @@ func TestHandlerErrorCountsAsError(t *testing.T) {
 	}
 	if st := n.Stats(); st.Errors != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestNoEDNSClampsExtendedRCode checks the wrapping is consistent end to end:
+// a handler answering with an extended RCODE (BADCOOKIE = 23, upper bits in
+// the OPT) loses both the OPT and the extension bits behind NoEDNS — the
+// response must survive the wire round trip through Network.Query, arriving
+// as the clamped 4-bit code rather than failing to pack.
+func TestNoEDNSClampsExtendedRCode(t *testing.T) {
+	inner := HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		r.RCode = dnswire.RCode(23) // BADCOOKIE: needs OPT extension bits
+		return r, nil
+	})
+	n := New(42)
+	addr := netip.MustParseAddr("198.18.9.7")
+	n.Register(addr, NoEDNS(inner))
+	resp, err := n.Query(context.Background(), addr,
+		dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OPT != nil {
+		t.Errorf("OPT survived NoEDNS")
+	}
+	if resp.RCode != dnswire.RCode(23&0xF) {
+		t.Errorf("RCode = %d, want the clamped low bits %d", resp.RCode, 23&0xF)
+	}
+}
+
+// TestNoEDNSDoesNotMutateHandlerResponse: handlers may hand out shared or
+// cached messages; the wrapper must clamp a copy, not the original.
+func TestNoEDNSDoesNotMutateHandlerResponse(t *testing.T) {
+	shared := dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA).Reply()
+	shared.RCode = dnswire.RCode(23)
+	h := NoEDNS(HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		return shared, nil
+	}))
+	resp, err := h.HandleDNS(context.Background(), dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OPT != nil || resp.RCode != dnswire.RCode(23&0xF) {
+		t.Errorf("wrapped response: OPT=%v RCode=%d", resp.OPT, resp.RCode)
+	}
+	if shared.OPT == nil || shared.RCode != dnswire.RCode(23) {
+		t.Errorf("NoEDNS mutated the handler's message: OPT=%v RCode=%d", shared.OPT, shared.RCode)
+	}
+}
+
+// TestConcurrentQueriesRaceClean drives Flaky and DieAfter endpoints (and the
+// network counters, loss process, and wire-buffer pool under them) from many
+// goroutines at once. Run under -race in CI, this is the regression test for
+// the lock-free query path.
+func TestConcurrentQueriesRaceClean(t *testing.T) {
+	n := New(42)
+	n.SetLossRate(0.05)
+	flakyAddr := netip.MustParseAddr("198.18.9.8")
+	dyingAddr := netip.MustParseAddr("198.18.9.9")
+	n.Register(flakyAddr, Flaky(echoHandler(), StaticRCode(dnswire.RCodeServFail)))
+	n.Register(dyingAddr, DieAfter(100, echoHandler(), StaticRCode(dnswire.RCodeRefused)))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := dnswire.NewQuery(uint16(g), dnswire.MustName("a.example"), dnswire.TypeA)
+			for i := 0; i < 100; i++ {
+				addr := flakyAddr
+				if i%2 == 0 {
+					addr = dyingAddr
+				}
+				n.Query(context.Background(), addr, q)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := n.Stats()
+	if st.Queries != 800 {
+		t.Errorf("Queries = %d, want 800", st.Queries)
+	}
+	if st.Answered+st.Lost+st.Errors != st.Queries {
+		t.Errorf("counters do not add up: %+v", st)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extended-dns-errors/edelab/internal/authserver"
@@ -36,10 +37,11 @@ type Wild struct {
 	Anchor []dnswire.DS
 	Pop    *Population
 
-	// Clock returns the scan instant; the scan harness advances it between
-	// the cache-warmup pass and the measurement pass.
-	clockMu sync.Mutex
-	offset  time.Duration
+	// offset shifts the scan instant; the scan harness advances it between
+	// the cache-warmup pass and the measurement pass. It is an atomic
+	// nanosecond count because every resolution reads the clock — a mutex
+	// here was a global serialization point for the whole worker pool.
+	offset atomic.Int64
 
 	providers []netip.Addr
 	index     map[dnswire.Name]*Domain
@@ -47,17 +49,13 @@ type Wild struct {
 
 // Now is the wild clock (ScanTime plus any offset set by AdvanceClock).
 func (w *Wild) Now() time.Time {
-	w.clockMu.Lock()
-	defer w.clockMu.Unlock()
-	return time.Unix(int64(ScanTime), 0).Add(w.offset)
+	return time.Unix(int64(ScanTime), 0).Add(time.Duration(w.offset.Load()))
 }
 
 // AdvanceClock moves the wild clock forward (used between the warmup and
 // measurement passes so warmed cache entries expire into stale range).
 func (w *Wild) AdvanceClock(d time.Duration) {
-	w.clockMu.Lock()
-	defer w.clockMu.Unlock()
-	w.offset += d
+	w.offset.Add(int64(d))
 }
 
 // WarmupDomains lists the domains whose resolutions must be primed before

@@ -13,6 +13,24 @@ type cacheKey struct {
 	qtype dnswire.Type
 }
 
+// shard returns the answer-shard index for the key: FNV-1a over the name
+// bytes mixed with the qtype, masked to the power-of-two shard count (the
+// same scheme as internal/frontend's cache).
+func (k cacheKey) shard() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.name); i++ {
+		h ^= uint64(k.name[i])
+		h *= prime64
+	}
+	h ^= uint64(k.qtype)
+	h *= prime64
+	return h & (numShards - 1)
+}
+
 // cachedAnswer is a completed resolution stored for reuse, including failed
 // ones (the error cache behind EDE 13).
 type cachedAnswer struct {
@@ -24,19 +42,51 @@ type cachedAnswer struct {
 	expiresAt  time.Time
 }
 
+// numShards is the answer-map shard count; a power of two so the hash can be
+// masked. 64 shards keep 128 scan workers from convoying on one mutex.
+const numShards = 64
+
+// DefaultMaxEntries bounds the answer cache. It is deliberately generous —
+// far above anything the testbed or wild-scan populations produce — so
+// default-configured runs never evict, but a long scan over a huge population
+// cannot grow the cache without limit.
+const DefaultMaxEntries = 1 << 20
+
+// evictProbes is how many entries an over-full shard examines per insert.
+// Expired entries among the probes are preferred victims; otherwise an
+// arbitrary probed entry goes. This approximate policy is O(1) per insert and
+// needs no auxiliary bookkeeping on the hit path.
+const evictProbes = 8
+
+// answerShard is one lock-striped slice of the answer map.
+type answerShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cachedAnswer
+}
+
 // Cache stores completed resolutions and validated zone keys. It implements
 // the behaviours the paper's §4.2 items 11–13 rely on: serve-stale (EDE 3,
 // 19) and cached errors (EDE 13).
+//
+// Answers are sharded by question hash with a mutex per shard; zone keys sit
+// behind a read-write lock so the common case — every resolution re-checking
+// the already-validated DNSKEY chain for root, TLD, and zone — is a shared
+// read lock, not a serializing exclusive one.
 type Cache struct {
-	mu      sync.Mutex
-	answers map[cacheKey]*cachedAnswer
-	keys    map[dnswire.Name]*zoneKeys
+	shards [numShards]answerShard
+
+	keyMu sync.RWMutex
+	keys  map[dnswire.Name]*zoneKeys
 
 	// StaleWindow is how long past expiry an entry may still be served as
 	// stale data (RFC 8767 suggests 1–3 days).
 	StaleWindow time.Duration
 	// ErrorTTL is the negative/error cache lifetime.
 	ErrorTTL time.Duration
+	// MaxEntries caps the total number of cached answers across all shards.
+	// When a shard exceeds its slice of the cap, inserts evict expired (or,
+	// failing that, arbitrary) entries. Zero means DefaultMaxEntries.
+	MaxEntries int
 }
 
 // zoneKeys is a validated key-establishment outcome for one zone.
@@ -50,20 +100,25 @@ type zoneKeys struct {
 
 // NewCache creates an empty cache with RFC 8767-ish defaults.
 func NewCache() *Cache {
-	return &Cache{
-		answers:     make(map[cacheKey]*cachedAnswer),
+	c := &Cache{
 		keys:        make(map[dnswire.Name]*zoneKeys),
 		StaleWindow: 24 * time.Hour,
 		ErrorTTL:    30 * time.Second,
+		MaxEntries:  DefaultMaxEntries,
 	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*cachedAnswer)
+	}
+	return c
 }
 
 // getAnswer returns a cached answer. fresh is false when the entry is past
 // its TTL but within the stale window.
 func (c *Cache) getAnswer(key cacheKey, now time.Time) (entry *cachedAnswer, fresh bool, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, found := c.answers[key]
+	s := &c.shards[key.shard()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.entries[key]
 	if !found {
 		return nil, false, false
 	}
@@ -73,47 +128,108 @@ func (c *Cache) getAnswer(key cacheKey, now time.Time) (entry *cachedAnswer, fre
 	if now.Before(e.expiresAt.Add(c.StaleWindow)) {
 		return e, false, true
 	}
-	delete(c.answers, key)
+	delete(s.entries, key)
 	return nil, false, false
 }
 
-// putAnswer stores a resolution outcome with the given TTL.
+// putAnswer stores a resolution outcome with the given TTL, evicting from the
+// target shard if it is at capacity.
 func (c *Cache) putAnswer(key cacheKey, e *cachedAnswer, ttl time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	max := c.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	perShard := max / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s := &c.shards[key.shard()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	e.expiresAt = e.storedAt.Add(ttl)
-	c.answers[key] = e
+	if _, exists := s.entries[key]; !exists && len(s.entries) >= perShard {
+		c.evictLocked(s, e.storedAt)
+	}
+	s.entries[key] = e
 }
 
-// getKeys returns the cached key establishment for zone.
+// evictLocked removes at least one entry from s. It probes a handful of
+// entries (map iteration order is effectively random), deleting any that are
+// past the stale window; if none are, it deletes the probed entry with the
+// earliest expiry. Called with s.mu held.
+func (c *Cache) evictLocked(s *answerShard, now time.Time) {
+	var victim cacheKey
+	var victimExpiry time.Time
+	probed := 0
+	evicted := false
+	for k, e := range s.entries {
+		if !now.Before(e.expiresAt.Add(c.StaleWindow)) {
+			delete(s.entries, k)
+			evicted = true
+		} else if probed == 0 || e.expiresAt.Before(victimExpiry) {
+			victim, victimExpiry = k, e.expiresAt
+		}
+		probed++
+		if probed >= evictProbes {
+			break
+		}
+	}
+	if !evicted && probed > 0 {
+		delete(s.entries, victim)
+	}
+}
+
+// getKeys returns the cached key establishment for zone. This is the
+// validated-DNSKEY fast path: a hit costs one shared read lock, so repeated
+// key establishment for the same zone neither re-verifies signatures nor
+// serializes behind other resolutions.
 func (c *Cache) getKeys(zone dnswire.Name, now time.Time) (*zoneKeys, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.keyMu.RLock()
 	k, ok := c.keys[zone]
-	if !ok || now.After(k.expiresAt) {
-		delete(c.keys, zone)
+	c.keyMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if now.After(k.expiresAt) {
+		// Expired: drop it under the write lock (re-checking, since another
+		// goroutine may have refreshed the zone in between).
+		c.keyMu.Lock()
+		if cur, ok := c.keys[zone]; ok && now.After(cur.expiresAt) {
+			delete(c.keys, zone)
+		}
+		c.keyMu.Unlock()
 		return nil, false
 	}
 	return k, true
 }
 
 func (c *Cache) putKeys(zone dnswire.Name, k *zoneKeys) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.keyMu.Lock()
+	defer c.keyMu.Unlock()
 	c.keys[zone] = k
 }
 
 // Len reports the number of cached answers (for tests and benchmarks).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.answers)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Flush clears everything.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.answers = make(map[cacheKey]*cachedAnswer)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[cacheKey]*cachedAnswer)
+		s.mu.Unlock()
+	}
+	c.keyMu.Lock()
 	c.keys = make(map[dnswire.Name]*zoneKeys)
+	c.keyMu.Unlock()
 }

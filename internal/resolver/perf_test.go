@@ -1,0 +1,112 @@
+package resolver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// TestCachedResolveAllocBudget gates the scan fast path: once a name is
+// cached, Resolve must cost only the handful of allocations needed to build
+// the response message (DESIGN.md §5b). A regression here multiplies across
+// every warm resolution of a wild scan.
+func TestCachedResolveAllocBudget(t *testing.T) {
+	w := buildWorld(t)
+	r := w.resolver(ProfileCloudflare())
+	name := dnswire.MustName("www.example.com")
+	ctx := context.Background()
+	r.Resolve(ctx, name, dnswire.TypeA) // populate the cache
+
+	allocs := testing.AllocsPerRun(200, func() {
+		res := r.Resolve(ctx, name, dnswire.TypeA)
+		if res.Msg.RCode != dnswire.RCodeNoError {
+			t.Fatalf("unexpected rcode %s", res.Msg.RCode)
+		}
+	})
+	// A warm hit builds the resolution state, the response Message, its
+	// question slice, the OPT record, and the Result — nothing else.
+	if allocs > 8 {
+		t.Fatalf("cached Resolve allocates %.1f/op, budget 8", allocs)
+	}
+}
+
+// TestCacheMaxEntriesHoldsUnderChurn drives far more distinct questions
+// through the cache than MaxEntries allows and checks the bound holds, that
+// eviction prefers entries already past the stale window, and that the cache
+// still answers.
+func TestCacheMaxEntriesHoldsUnderChurn(t *testing.T) {
+	c := NewCache()
+	c.MaxEntries = 256 // 4 entries per shard
+	now := time.Unix(tNow, 0)
+
+	for i := 0; i < 10000; i++ {
+		key := cacheKey{dnswire.MustName(fmt.Sprintf("churn-%d.example.com.", i)), dnswire.TypeA}
+		c.putAnswer(key, &cachedAnswer{rcode: dnswire.RCodeNoError, storedAt: now}, time.Hour)
+	}
+	// Each shard may briefly sit at its per-shard cap; the total must never
+	// exceed MaxEntries.
+	if n := c.Len(); n > c.MaxEntries {
+		t.Fatalf("cache grew to %d entries, cap %d", n, c.MaxEntries)
+	}
+	if n := c.Len(); n == 0 {
+		t.Fatal("eviction emptied the cache entirely")
+	}
+
+	// Expired-first preference: fill with entries far past the stale window,
+	// then insert fresh ones; the dead entries must be the ones to go.
+	c.Flush()
+	dead := time.Unix(tNow-10*86400, 0)
+	for i := 0; i < 512; i++ {
+		key := cacheKey{dnswire.MustName(fmt.Sprintf("dead-%d.example.com.", i)), dnswire.TypeA}
+		c.putAnswer(key, &cachedAnswer{storedAt: dead}, time.Minute)
+	}
+	for i := 0; i < 512; i++ {
+		key := cacheKey{dnswire.MustName(fmt.Sprintf("live-%d.example.com.", i)), dnswire.TypeA}
+		c.putAnswer(key, &cachedAnswer{storedAt: now}, time.Hour)
+	}
+	live := 0
+	for i := 0; i < 512; i++ {
+		key := cacheKey{dnswire.MustName(fmt.Sprintf("live-%d.example.com.", i)), dnswire.TypeA}
+		if _, fresh, ok := c.getAnswer(key, now); ok && fresh {
+			live++
+		}
+	}
+	if live < c.MaxEntries/2 {
+		t.Errorf("only %d of the fresh entries survived churn against expired ones (cap %d)", live, c.MaxEntries)
+	}
+}
+
+// TestCacheConcurrentChurn hammers all shards from many goroutines under a
+// small cap; run with -race this verifies the sharded maps and the key cache
+// RWMutex are sound.
+func TestCacheConcurrentChurn(t *testing.T) {
+	c := NewCache()
+	c.MaxEntries = 128
+	now := time.Unix(tNow, 0)
+	zone := dnswire.MustName("example.com.")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := cacheKey{dnswire.MustName(fmt.Sprintf("g%d-%d.example.com.", g, i)), dnswire.TypeA}
+				c.putAnswer(key, &cachedAnswer{storedAt: now}, time.Hour)
+				c.getAnswer(key, now)
+				if i%7 == 0 {
+					c.putKeys(zone, &zoneKeys{secure: true, expiresAt: now.Add(time.Hour)})
+				}
+				c.getKeys(zone, now)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > c.MaxEntries {
+		t.Fatalf("cache grew to %d entries under concurrent churn, cap %d", n, c.MaxEntries)
+	}
+}

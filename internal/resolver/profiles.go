@@ -329,14 +329,21 @@ func AllProfiles() []*Profile {
 // sorted numerically (matching how the paper reports multi-code responses,
 // e.g. Cloudflare's "9,22,23").
 func (p *Profile) Codes(conds []Condition) ede.Set {
-	seen := make(map[ede.Code]bool)
+	if len(conds) == 0 {
+		return nil
+	}
 	var out ede.Set
 	for _, c := range conds {
+	next:
 		for _, code := range p.Map[c] {
-			if !seen[code] {
-				seen[code] = true
-				out = append(out, code)
+			// Sets are tiny (rarely more than three codes), so a linear
+			// dedup beats allocating a seen-map on every resolution.
+			for _, have := range out {
+				if have == code {
+					continue next
+				}
 			}
+			out = append(out, code)
 		}
 	}
 	// insertion sort; sets are tiny

@@ -111,6 +111,9 @@ func (st *resolution) addCond(c Condition, detail string) {
 	}
 	st.conds = append(st.conds, c)
 	if detail != "" {
+		if st.details == nil {
+			st.details = make(map[Condition]string)
+		}
 		st.details[c] = detail
 	}
 }
@@ -119,7 +122,9 @@ func (st *resolution) addCond(c Condition, detail string) {
 // a Go error: all failures are encoded in the response message, as a real
 // resolver would.
 func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) *Result {
-	st := &resolution{r: r, ctx: ctx, details: make(map[Condition]string)}
+	// The details map is allocated lazily by addCond: most resolutions —
+	// every healthy domain in a wild scan — never record a detail string.
+	st := &resolution{r: r, ctx: ctx}
 	now := r.Now()
 
 	key := cacheKey{qname, qtype}
@@ -179,17 +184,31 @@ func (r *Resolver) finishFromCache(st *resolution, qname dnswire.Name, qtype dns
 	return r.finish(st, qname, qtype, e.answer, e.rcode, e.secure)
 }
 
+// response bundles everything a finished resolution hands back, so a warm
+// cache hit costs a single allocation instead of one each for the message,
+// question slice, OPT, and Result.
+type response struct {
+	msg      dnswire.Message
+	opt      dnswire.OPT
+	question [1]dnswire.Question
+	result   Result
+}
+
 // finish builds the client response, applying the profile's EDE mapping.
 func (r *Resolver) finish(st *resolution, qname dnswire.Name, qtype dnswire.Type, answer []dnswire.RR, rcode dnswire.RCode, secure bool) *Result {
-	msg := &dnswire.Message{
+	out := &response{}
+	out.question[0] = dnswire.Question{Name: qname, Type: qtype, Class: dnswire.ClassIN}
+	out.opt = dnswire.OPT{UDPSize: 1232, DO: true}
+	out.msg = dnswire.Message{
 		ID:                 uint16(r.idCounter.Add(1)),
 		Response:           true,
 		RecursionDesired:   true,
 		RecursionAvailable: true,
 		RCode:              rcode,
-		Question:           []dnswire.Question{{Name: qname, Type: qtype, Class: dnswire.ClassIN}},
-		OPT:                &dnswire.OPT{UDPSize: 1232, DO: true},
+		Question:           out.question[:],
+		OPT:                &out.opt,
 	}
+	msg := &out.msg
 	class := worstClass(st.conds)
 	switch class {
 	case ClassBogus, ClassLame:
@@ -207,7 +226,8 @@ func (r *Resolver) finish(st *resolution, qname dnswire.Name, qtype dnswire.Type
 		}
 		msg.AddEDE(uint16(code), text)
 	}
-	return &Result{Msg: msg, Conditions: st.conds, Secure: secure, Details: st.details, Trace: st.trace}
+	out.result = Result{Msg: msg, Conditions: st.conds, Secure: secure, Details: st.details, Trace: st.trace}
+	return &out.result
 }
 
 // extraTextFor finds the detail string backing an emitted code.
@@ -466,7 +486,7 @@ func (st *resolution) serversForReferral(resp *dnswire.Message, child dnswire.Na
 		if glued[host] {
 			continue
 		}
-		sub := &resolution{r: st.r, ctx: st.ctx, details: make(map[Condition]string), steps: st.steps}
+		sub := &resolution{r: st.r, ctx: st.ctx, steps: st.steps}
 		ans, _, _ := sub.resolve(host, dnswire.TypeA, depth+1)
 		st.steps = sub.steps
 		for _, rr := range ans {

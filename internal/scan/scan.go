@@ -8,6 +8,7 @@ package scan
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
@@ -59,14 +60,24 @@ func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
 	start := time.Now()
 	before := s.Resolver.QueryCount.Load()
 
+	// Work is handed out through an atomic counter rather than a channel: a
+	// channel send/receive is a synchronization point between the dispatcher
+	// and a worker on every single domain, which serializes short resolutions
+	// (cache hits). Each worker claims the next index with one atomic add.
+	// After cancellation, workers sweep the remaining indices marking them
+	// Skipped, preserving the prompt-stop semantics of the channel version.
 	results := make([]Result, len(names))
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(names) {
+					return
+				}
 				if ctx.Err() != nil {
 					results[i] = Result{Domain: names[i], Skipped: true}
 					continue
@@ -85,18 +96,6 @@ func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
 			}
 		}()
 	}
-dispatch:
-	for i := range names {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			for j := i; j < len(names); j++ {
-				results[j] = Result{Domain: names[j], Skipped: true}
-			}
-			break dispatch
-		}
-	}
-	close(jobs)
 	wg.Wait()
 
 	s.Elapsed = time.Since(start)
