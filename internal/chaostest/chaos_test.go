@@ -1,0 +1,251 @@
+package chaostest
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// chaosSeed is the suite's replay seed. Change it and every schedule replays
+// a different (but equally deterministic) fault history.
+const chaosSeed = 20230515
+
+func scheduleByName(t *testing.T, name string) Schedule {
+	t.Helper()
+	for _, s := range Schedules() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no schedule named %q", name)
+	return Schedule{}
+}
+
+// fullMatrix reports whether the extended (multi-seed) chaos matrix was
+// requested — the nightly CI mode.
+func fullMatrix() bool { return os.Getenv("CHAOS_MATRIX") == "full" }
+
+func seeds() []uint64 {
+	if fullMatrix() {
+		return []uint64{chaosSeed, 7, 99991}
+	}
+	return []uint64{chaosSeed}
+}
+
+// TestChaosFaultFreeMatchesGolden pins the fault-free replay to the
+// committed Table 4 golden report and to the paper's expected matrix —
+// 441/441 cells.
+func TestChaosFaultFreeMatchesGolden(t *testing.T) {
+	res, err := Run(context.Background(), chaosSeed, scheduleByName(t, "fault-free"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every cell must match the paper's ground truth.
+	tb, err := testbed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tb.ExpectedMatrix()
+	cells, mismatches := 0, 0
+	for _, c := range want.Cases {
+		for _, sys := range want.Systems {
+			cells++
+			if !res.Matrix.Results[c][sys].Equal(want.Results[c][sys]) {
+				mismatches++
+				t.Errorf("cell %s/%s: got %s, want %s", c, sys, res.Matrix.Results[c][sys], want.Results[c][sys])
+			}
+		}
+	}
+	if cells != 441 {
+		t.Fatalf("matrix has %d cells, want 441", cells)
+	}
+	t.Logf("Table 4: %d/%d cells match", cells-mismatches, cells)
+
+	golden := filepath.Join("testdata", "table4.golden")
+	got := res.Report()
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(wantBytes) {
+		t.Error("fault-free report differs from testdata/table4.golden (run with -update after intentional changes)")
+	}
+}
+
+// TestChaosRecoverableInvariance replays the matrix under every recoverable
+// schedule and requires cell-for-cell equality with the fault-free run — in
+// particular, zero regressions to EDE 22 (the all-timeout collapse the
+// retry/backoff policy exists to prevent).
+func TestChaosRecoverableInvariance(t *testing.T) {
+	for _, seed := range seeds() {
+		base, err := Run(context.Background(), seed, scheduleByName(t, "fault-free"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sch := range Schedules() {
+			if !sch.Recoverable || sch.Name == "fault-free" {
+				continue
+			}
+			sch := sch
+			t.Run(sch.Name, func(t *testing.T) {
+				res, err := Run(context.Background(), seed, sch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diffs := Diff(base, res); len(diffs) != 0 {
+					for _, d := range diffs {
+						t.Errorf("seed %d: %s", seed, d)
+					}
+					t.Fatalf("seed %d: %d/441 cells changed under recoverable schedule %s", seed, len(diffs), sch.Name)
+				}
+				// Explicitly: no cell gained EDE 22 that did not have it.
+				for _, c := range base.Matrix.Cases {
+					for _, sys := range base.Matrix.Systems {
+						had := base.Matrix.Results[c][sys].Contains(ede.CodeNoReachableAuthority)
+						has := res.Matrix.Results[c][sys].Contains(ede.CodeNoReachableAuthority)
+						if has && !had {
+							t.Errorf("seed %d: %s/%s regressed to EDE 22 under %s", seed, c, sys, sch.Name)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosUnrecoverableDegradation pins the failure modes: total silence
+// degrades every cell to No Reachable Authority (EDE 22, plus DNSKEY Missing
+// at the signed root for Cloudflare), while total garbling is an observable
+// Network Error (EDE 23) — never misreported as silence.
+func TestChaosUnrecoverableDegradation(t *testing.T) {
+	t.Run("blackout", func(t *testing.T) {
+		res, err := Run(context.Background(), chaosSeed, scheduleByName(t, "blackout"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ede.Set{ede.CodeDNSKEYMissing, ede.CodeNoReachableAuthority}
+		for _, c := range res.Matrix.Cases {
+			got := res.Matrix.Results[c]["Cloudflare"]
+			if !got.Equal(want) {
+				t.Errorf("blackout %s/Cloudflare: got %s, want %s", c, got, want)
+			}
+			for _, sys := range res.Matrix.Systems {
+				if sys == "Cloudflare" {
+					continue
+				}
+				if s := res.Matrix.Results[c][sys]; len(s) != 0 {
+					t.Errorf("blackout %s/%s: got %s, want no EDE (bare SERVFAIL)", c, sys, s)
+				}
+			}
+		}
+	})
+	t.Run("garble", func(t *testing.T) {
+		res, err := Run(context.Background(), chaosSeed, scheduleByName(t, "garble"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ede.Set{ede.CodeNetworkError}
+		for _, c := range res.Matrix.Cases {
+			got := res.Matrix.Results[c]["Cloudflare"]
+			if !got.Equal(want) {
+				t.Errorf("garble %s/Cloudflare: got %s, want %s", c, got, want)
+			}
+			if got.Contains(ede.CodeNoReachableAuthority) {
+				t.Errorf("garble %s/Cloudflare: corruption misclassified as silence (EDE 22)", c)
+			}
+		}
+	})
+}
+
+// TestChaosReplayByteIdentical runs a schedule whose outcome genuinely
+// depends on RNG draws (50% loss, too few retries to guarantee recovery)
+// twice with the same seed: the rendered reports must be byte-identical.
+func TestChaosReplayByteIdentical(t *testing.T) {
+	harsh := Schedule{
+		Name:      "harsh-loss",
+		Faults:    "loss=0.5",
+		Transport: &resolver.TransportConfig{Retries: 2, Sleep: noSleep},
+	}
+	a, err := Run(context.Background(), chaosSeed, harsh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), chaosSeed, harsh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Report(), b.Report()
+	if ra != rb {
+		t.Fatal("two runs with the same seed produced different reports")
+	}
+	c, err := Run(context.Background(), chaosSeed+1, harsh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Report() == ra {
+		t.Fatal("a different seed replayed the identical fault history")
+	}
+}
+
+// TestChaosRetryPolicyRescues demonstrates the tentpole claim directly:
+// under 20% loss the legacy single-shot transport loses cells to timeout
+// collapse, while the retry policy holds all 441.
+func TestChaosRetryPolicyRescues(t *testing.T) {
+	base, err := Run(context.Background(), chaosSeed, scheduleByName(t, "fault-free"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleShot := Schedule{Name: "lossy-single-shot", Faults: "loss=0.2", Transport: nil}
+	naive, err := Run(context.Background(), chaosSeed, singleShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPolicy, err := Run(context.Background(), chaosSeed, scheduleByName(t, "lossy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveDiffs := len(Diff(base, naive))
+	policyDiffs := len(Diff(base, withPolicy))
+	t.Logf("cells changed under 20%% loss: single-shot=%d, retry-policy=%d", naiveDiffs, policyDiffs)
+	if naiveDiffs == 0 {
+		t.Error("single-shot transport unexpectedly survived 20% loss — the demonstration is vacuous")
+	}
+	if policyDiffs != 0 {
+		t.Errorf("retry policy lost %d cells under 20%% loss", policyDiffs)
+	}
+}
+
+// TestChaosSchedulesWellFormed keeps the schedule matrix parseable and at
+// the documented minimum size.
+func TestChaosSchedulesWellFormed(t *testing.T) {
+	schs := Schedules()
+	if len(schs) < 6 {
+		t.Fatalf("only %d schedules; the chaos matrix needs the baseline plus >= 5 fault schedules", len(schs))
+	}
+	recoverable := 0
+	for _, s := range schs {
+		if _, err := ParseScheduleFaults(s); err != nil {
+			t.Errorf("schedule %s: %v", s.Name, err)
+		}
+		if s.Recoverable {
+			recoverable++
+		}
+	}
+	if recoverable < 5 {
+		t.Errorf("%d recoverable schedules, want >= 5 (including fault-free)", recoverable)
+	}
+}

@@ -1,0 +1,182 @@
+// Package chaostest replays the paper's 63-case testbed (Table 4) under a
+// matrix of fault schedules, turning the reproduced table into a regression
+// oracle for the resolver's transport policy.
+//
+// Each schedule pairs a netsim fault profile with a resolver transport
+// configuration. Recoverable schedules (bounded loss, bounded latency,
+// truncation, duplication/reordering, flapping) must leave every one of the
+// 441 Table 4 cells untouched — the retry/backoff policy absorbs the faults.
+// Unrecoverable schedules (total blackout, total garbling) must degrade to
+// the documented codes: EDE 22 (No Reachable Authority) for silence, EDE 23
+// (Network Error) for observable corruption.
+//
+// Every run is a pure function of a single uint64 seed: the fault plan draws
+// from per-endpoint PCG streams, latency is virtual, backoff sleeps are
+// no-ops, and the 63×7 matrix is walked sequentially — so two runs with the
+// same seed render byte-identical reports.
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+// Schedule is one chaos scenario: a fault spec for the whole simulated
+// network plus the transport policy the resolvers run with.
+type Schedule struct {
+	// Name labels the schedule in reports and test output.
+	Name string
+	// Faults is a ParseFaultProfile spec applied to every endpoint; ""
+	// means a perfect network.
+	Faults string
+	// Transport is the resolver transport policy; nil means the legacy
+	// single-shot behaviour (one 2s attempt per server).
+	Transport *resolver.TransportConfig
+	// Recoverable declares that the Table 4 matrix must be invariant under
+	// this schedule. Unrecoverable schedules instead degrade to documented
+	// reachability codes.
+	Recoverable bool
+}
+
+// noSleep replaces the backoff clock in chaos runs: pacing is policy under
+// test, not wall time.
+func noSleep(context.Context, time.Duration) {}
+
+// Schedules returns the standard chaos matrix: the fault-free baseline, five
+// recoverable impairments, and two unrecoverable failure modes.
+func Schedules() []Schedule {
+	retry := func(retries int) *resolver.TransportConfig {
+		return &resolver.TransportConfig{
+			Retries: retries,
+			Backoff: 10 * time.Millisecond,
+			Sleep:   noSleep,
+		}
+	}
+	return []Schedule{
+		{Name: "fault-free", Faults: "", Transport: nil, Recoverable: true},
+		// 20% i.i.d. loss: six attempts drive per-server failure odds to
+		// 0.2^6 = 6.4e-5, far below one expected flip across 441 cells.
+		{Name: "lossy", Faults: "loss=0.2", Transport: retry(6), Recoverable: true},
+		// Bounded latency (max 150ms) sits well inside the 2s per-attempt
+		// timeout; retries cover nothing here, selection does.
+		{Name: "latency", Faults: "lat=100ms,jitter=50ms", Transport: retry(3), Recoverable: true},
+		// Every datagram truncated: the RFC 7766 stream fallback must carry
+		// the whole matrix.
+		{Name: "truncate", Faults: "trunc", Transport: nil, Recoverable: true},
+		// Duplication advances server state; reordering delivers answers to
+		// the wrong question — the sanity-check retry absorbs both.
+		{Name: "dup-reorder", Faults: "dup=0.1,reorder=0.1", Transport: retry(6), Recoverable: true},
+		// Flapping 6-up/2-down: at most two consecutive drops per endpoint,
+		// under the six-attempt budget.
+		{Name: "flap", Faults: "flap=6:2", Transport: retry(6), Recoverable: true},
+		// Total silence: every cell must degrade to the no-reachable-
+		// authority outcome (Cloudflare: EDE 22 + 9, the DNSKEY being
+		// unobtainable at the signed root).
+		{Name: "blackout", Faults: "loss=1", Transport: retry(2), Recoverable: false},
+		// Total corruption: an observable network error, not silence —
+		// Cloudflare: EDE 23 alone.
+		{Name: "garble", Faults: "garble=1", Transport: retry(2), Recoverable: false},
+	}
+}
+
+// ParseScheduleFaults validates and parses a schedule's fault spec.
+func ParseScheduleFaults(s Schedule) (netsim.FaultProfile, error) {
+	return netsim.ParseFaultProfile(s.Faults)
+}
+
+// Run builds a fresh testbed, applies the schedule's faults seeded with
+// seed, and replays all 63 cases through all seven vendor profiles.
+func Run(ctx context.Context, seed uint64, sch Schedule) (*Result, error) {
+	tb, err := testbed.Build()
+	if err != nil {
+		return nil, err
+	}
+	if sch.Faults != "" {
+		fp, err := netsim.ParseFaultProfile(sch.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("schedule %s: %w", sch.Name, err)
+		}
+		tb.Net.SetFaults(netsim.NewFaultPlan(seed, fp))
+	}
+
+	profiles := resolver.AllProfiles()
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	m := ede.NewMatrix(names)
+	for _, p := range profiles {
+		r := tb.NewResolver(p)
+		r.Transport = sch.Transport
+		for _, c := range tb.Cases {
+			res := r.Resolve(ctx, c.Query, dnswire.TypeA)
+			var set ede.Set
+			for _, code := range res.Codes() {
+				set = append(set, ede.Code(code))
+			}
+			m.Record(c.Label, p.Name, set)
+		}
+	}
+	return &Result{Schedule: sch, Seed: seed, Matrix: m, Stats: tb.Net.Stats()}, nil
+}
+
+// Result is one completed chaos run.
+type Result struct {
+	Schedule Schedule
+	Seed     uint64
+	Matrix   *ede.Matrix
+	Stats    netsim.Stats
+}
+
+// Report renders the run as a canonical, byte-stable text document: header,
+// one line per (case, system) cell in sorted order, and the network counters.
+// Two runs with the same seed must produce identical bytes.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %s\n", r.Schedule.Name)
+	fmt.Fprintf(&b, "faults: %q\n", r.Schedule.Faults)
+	fmt.Fprintf(&b, "seed: %d\n", r.Seed)
+	fmt.Fprintf(&b, "cells: %d\n", len(r.Matrix.Cases)*len(r.Matrix.Systems))
+	b.WriteString("\n")
+
+	cases := append([]string(nil), r.Matrix.Cases...)
+	sort.Strings(cases)
+	systems := append([]string(nil), r.Matrix.Systems...)
+	for _, c := range cases {
+		for _, sys := range systems {
+			fmt.Fprintf(&b, "%s\t%s\t%s\n", c, sys, r.Matrix.Results[c][sys])
+		}
+	}
+
+	s := r.Stats
+	fmt.Fprintf(&b, "\nqueries: %d answered: %d lost: %d truncated: %d garbled: %d duplicated: %d reordered: %d\n",
+		s.Queries, s.Answered, s.Lost, s.Truncated, s.Garbled, s.Duplicated, s.Reordered)
+	return b.String()
+}
+
+// Diff compares two runs cell by cell and returns a sorted list of
+// human-readable mismatches ("case/system: a=... b=...").
+func Diff(a, b *Result) []string {
+	var out []string
+	for _, c := range a.Matrix.Cases {
+		for _, sys := range a.Matrix.Systems {
+			sa := a.Matrix.Results[c][sys]
+			sb := b.Matrix.Results[c][sys]
+			if !sa.Equal(sb) {
+				out = append(out, fmt.Sprintf("%s/%s: %s=%s %s=%s",
+					c, sys, a.Schedule.Name, sa, b.Schedule.Name, sb))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,39 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// FuzzParseFaultProfile feeds arbitrary specs to the chaos-profile parser.
+// Invariants: parsing never panics; an accepted profile renders a canonical
+// String() that re-parses to the identical profile (the spec grammar is
+// closed under its own printer).
+func FuzzParseFaultProfile(f *testing.F) {
+	f.Add("")
+	f.Add("loss=0.3")
+	f.Add("loss=0.2,lat=100ms,jitter=50ms")
+	f.Add("trunc")
+	f.Add("garble=1,dup=0.1,reorder=0.1")
+	f.Add("flap=6:2,burst=10:3,dieafter=5")
+	f.Add("lat=1s,ramp=10ms")
+	f.Add("loss=2")      // out of range
+	f.Add("flap=0:0")    // invalid flap
+	f.Add("bogus=1")     // unknown key
+	f.Add("loss")        // missing value
+	f.Add(",,loss=0.1,") // stray separators
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		fp, err := ParseFaultProfile(spec)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canon := fp.String()
+		fp2, err := ParseFaultProfile(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not re-parse: %v", canon, spec, err)
+		}
+		if fp2 != fp {
+			t.Fatalf("round-trip drift: %q parsed as %+v, canonical %q re-parsed as %+v", spec, fp, canon, fp2)
+		}
+	})
+}

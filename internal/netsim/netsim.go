@@ -16,15 +16,15 @@
 // The query path is designed for many concurrent scan workers: statistics are
 // lock-free atomic counters, the endpoint table is behind a read-write lock
 // that writers (topology changes) take rarely, and the wire buffers for the
-// per-hop pack/unpack round trips come from a pool. Only the loss-process RNG
-// sits behind a mutex, and it is touched only when a loss rate is configured.
+// per-hop pack/unpack round trips come from a pool. Fault injection (fault.go)
+// adds per-endpoint state behind a mutex, touched only when a FaultPlan is
+// installed; each endpoint draws from its own seeded stream, so fault
+// sequences are reproducible regardless of cross-endpoint interleaving.
 package netsim
 
 import (
 	"context"
 	"errors"
-	"math"
-	"math/rand/v2"
 	"net/netip"
 	"sync"
 	"sync/atomic"
@@ -36,9 +36,13 @@ import (
 
 // Errors surfaced to querying clients. A real client cannot distinguish an
 // unroutable destination from a silent one — both are ErrTimeout — but the
-// simulator counts them separately for diagnostics.
+// simulator counts them separately for diagnostics. ErrMalformed is the one
+// observably different failure: a datagram arrived but could not be parsed,
+// which is a network *signal* rather than silence (the EDE 23-vs-22
+// distinction the resolver draws).
 var (
-	ErrTimeout = errors.New("netsim: query timed out")
+	ErrTimeout   = errors.New("netsim: query timed out")
+	ErrMalformed = errors.New("netsim: response garbled in flight")
 )
 
 // Handler processes one DNS query addressed to an endpoint.
@@ -59,9 +63,13 @@ type Stats struct {
 	Queries     uint64 // queries attempted
 	Unroutable  uint64 // destinations in special-purpose ranges
 	Unreachable uint64 // routable but no endpoint registered
-	Lost        uint64 // dropped by the loss process
+	Lost        uint64 // dropped (loss, bursts, flaps, die-after, latency past deadline)
 	Answered    uint64 // handler produced a response
 	Errors      uint64 // handler returned an error (silent server)
+	Truncated   uint64 // datagram responses truncated by fault injection
+	Garbled     uint64 // responses corrupted in flight
+	Duplicated  uint64 // query datagrams duplicated
+	Reordered   uint64 // responses delayed/overtaken by reordering
 }
 
 // Network is an in-memory internet of DNS endpoints.
@@ -69,9 +77,8 @@ type Network struct {
 	mu        sync.RWMutex // guards endpoints (read-locked on the query path)
 	endpoints map[netip.Addr]Handler
 
-	lossBits atomic.Uint64 // math.Float64bits of the loss probability
-	rngMu    sync.Mutex    // guards rng; taken only while loss is enabled
-	rng      *rand.Rand
+	seed  uint64
+	fault atomic.Pointer[FaultPlan]
 
 	queries     atomic.Uint64
 	unroutable  atomic.Uint64
@@ -79,19 +86,39 @@ type Network struct {
 	lost        atomic.Uint64
 	answered    atomic.Uint64
 	errors      atomic.Uint64
+	truncated   atomic.Uint64
+	garbled     atomic.Uint64
+	duplicated  atomic.Uint64
+	reordered   atomic.Uint64
 }
 
-// New creates an empty network. seed drives the (optional) loss process.
+// New creates an empty network. seed drives the (optional) fault processes.
 func New(seed uint64) *Network {
 	return &Network{
 		endpoints: make(map[netip.Addr]Handler),
-		rng:       rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)),
+		seed:      seed,
 	}
 }
 
+// SetFaults installs (or, with nil, removes) the fault plan governing every
+// exchange on the network.
+func (n *Network) SetFaults(p *FaultPlan) {
+	n.fault.Store(p)
+}
+
+// Faults returns the installed plan, or nil.
+func (n *Network) Faults() *FaultPlan { return n.fault.Load() }
+
 // SetLossRate configures the probability in [0,1) that any query is dropped.
+// It is a convenience wrapper over SetFaults: the loss sequence each endpoint
+// sees comes from that endpoint's own stream seeded by the network seed, so
+// it is reproducible in tests regardless of goroutine interleaving.
 func (n *Network) SetLossRate(p float64) {
-	n.lossBits.Store(math.Float64bits(p))
+	if p <= 0 {
+		n.SetFaults(nil)
+		return
+	}
+	n.SetFaults(NewFaultPlan(n.seed, FaultProfile{Loss: p}))
 }
 
 // Register attaches handler h to addr, replacing any previous endpoint.
@@ -117,6 +144,10 @@ func (n *Network) Stats() Stats {
 		Lost:        n.lost.Load(),
 		Answered:    n.answered.Load(),
 		Errors:      n.errors.Load(),
+		Truncated:   n.truncated.Load(),
+		Garbled:     n.garbled.Load(),
+		Duplicated:  n.duplicated.Load(),
+		Reordered:   n.reordered.Load(),
 	}
 }
 
@@ -144,43 +175,106 @@ func roundTrip(m *dnswire.Message) (*dnswire.Message, error) {
 // message round-trips through wire format in both directions so that every
 // exchange exercises the real codec.
 func (n *Network) Query(ctx context.Context, server netip.Addr, msg *dnswire.Message) (*dnswire.Message, error) {
+	resp, _, err := n.Exchange(ctx, server, msg)
+	return resp, err
+}
+
+// Exchange is Query with the simulated round-trip time exposed: zero on a
+// perfect network, the injected latency when a fault plan adds one. Clients
+// tracking SRTT for server selection feed from it.
+func (n *Network) Exchange(ctx context.Context, server netip.Addr, msg *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return n.exchange(ctx, server, msg, false)
+}
+
+// ExchangeStream is the stream-transport (TCP fallback) exchange: the same
+// endpoint and fault path, but datagram-only faults — truncation, garbling,
+// duplication, reordering — do not apply.
+func (n *Network) ExchangeStream(ctx context.Context, server netip.Addr, msg *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return n.exchange(ctx, server, msg, true)
+}
+
+func (n *Network) exchange(ctx context.Context, server netip.Addr, msg *dnswire.Message, stream bool) (*dnswire.Message, time.Duration, error) {
 	n.queries.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if !ipspecial.Routable(server) {
 		n.unroutable.Add(1)
-		return nil, ErrTimeout
+		return nil, 0, ErrTimeout
 	}
 	n.mu.RLock()
 	h, ok := n.endpoints[server]
 	n.mu.RUnlock()
 	if !ok {
 		n.unreachable.Add(1)
-		return nil, ErrTimeout
+		return nil, 0, ErrTimeout
 	}
-	if rate := math.Float64frombits(n.lossBits.Load()); rate > 0 {
-		n.rngMu.Lock()
-		drop := n.rng.Float64() < rate
-		n.rngMu.Unlock()
-		if drop {
+
+	var v verdict
+	var st *faultState
+	if plan := n.fault.Load(); plan != nil {
+		var fp FaultProfile
+		st, fp = plan.stateFor(server)
+		v = st.draw(fp, stream)
+	}
+	if v.drop {
+		n.lost.Add(1)
+		return nil, 0, ErrTimeout
+	}
+	if v.latency > 0 {
+		// Latency is virtual: charged against the caller's deadline, never
+		// slept. An answer that would arrive after the deadline is a loss.
+		if deadline, ok := ctx.Deadline(); ok && time.Now().Add(v.latency).After(deadline) {
 			n.lost.Add(1)
-			return nil, ErrTimeout
+			return nil, 0, ErrTimeout
 		}
 	}
 
 	parsed, err := roundTrip(msg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := h.HandleDNS(ctx, parsed)
 	if err != nil || resp == nil {
 		n.errors.Add(1)
-		return nil, ErrTimeout
+		return nil, 0, ErrTimeout
+	}
+	if v.duplicate {
+		// The duplicated query reaches the handler a second time (advancing
+		// any per-query state); the extra response is discarded in flight.
+		n.duplicated.Add(1)
+		if dup, err := roundTrip(msg); err == nil {
+			h.HandleDNS(ctx, dup)
+		}
 	}
 	out, err := roundTrip(resp)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if v.truncate {
+		n.truncated.Add(1)
+		tc := *out
+		tc.Truncated = true
+		tc.Answer, tc.Authority, tc.Additional = nil, nil, nil
+		out = &tc
+	}
+	if v.garble {
+		n.garbled.Add(1)
+		return nil, v.latency, ErrMalformed
+	}
+	if v.reorder {
+		n.reordered.Add(1)
+		// This response is delayed past the client's patience; the one a
+		// previous reorder delayed (if any) arrives in its place, answering
+		// the wrong question.
+		out = st.swapPending(out)
+		if out == nil {
+			n.lost.Add(1)
+			return nil, v.latency, ErrTimeout
+		}
 	}
 	n.answered.Add(1)
-	return out, nil
+	return out, v.latency, nil
 }
 
 // --- behaviour endpoints: the broken servers observed in the wild scan ---

@@ -172,6 +172,15 @@ const (
 	// succeeded with a Network Error advisory (§4.2 item 2's EDE-23-only
 	// domains).
 	ConditionUpstreamError
+	// ConditionNetworkError: the network path to every authority failed with
+	// an observable error — garbled datagrams rather than pure silence —
+	// distinguishing EDE 23 (Network Error) from EDE 22 (No Reachable
+	// Authority).
+	ConditionNetworkError
+	// ConditionCancelled: the client abandoned the query (parent context
+	// cancelled or deadline exceeded) before resolution finished. Never
+	// cached, never mapped to an EDE.
+	ConditionCancelled
 
 	// --- Caching (§4.2 items 11–13) ---
 
@@ -249,6 +258,8 @@ var conditionNames = map[Condition]string{
 	ConditionNotAuthAll:            "authorities-notauth",
 	ConditionDNSKEYUnobtainable:    "dnskey-unobtainable",
 	ConditionUpstreamError:         "upstream-error-advisory",
+	ConditionNetworkError:          "network-error",
+	ConditionCancelled:             "cancelled",
 	ConditionStaleServed:           "stale-answer-served",
 	ConditionStaleNXServed:         "stale-nxdomain-served",
 	ConditionCachedError:           "cached-error-served",
@@ -299,7 +310,8 @@ func ClassOf(c Condition) Class {
 	case ConditionUnreachableAllTimeout, ConditionUnreachableRefused,
 		ConditionUnreachableServfail, ConditionNotAuthAll,
 		ConditionDNSKEYUnobtainable, ConditionInvalidData,
-		ConditionIterationLimit, ConditionCachedError:
+		ConditionIterationLimit, ConditionCachedError,
+		ConditionNetworkError, ConditionCancelled:
 		return ClassLame
 	case ConditionStaleServed, ConditionStaleNXServed:
 		return ClassDegraded

@@ -216,6 +216,7 @@ func ProfileCloudflare() *Profile {
 			ConditionNotAuthAll:            {ede.CodeCachedError},
 			ConditionDNSKEYUnobtainable:    {ede.CodeDNSKEYMissing},
 			ConditionUpstreamError:         {ede.CodeNetworkError},
+			ConditionNetworkError:          {ede.CodeNetworkError},
 			ConditionStaleServed:           {ede.CodeStaleAnswer},
 			ConditionStaleNXServed:         {ede.CodeStaleNXDOMAINAnswer},
 			ConditionCachedError:           {ede.CodeCachedError},

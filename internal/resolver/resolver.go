@@ -2,6 +2,7 @@ package resolver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"sync/atomic"
@@ -27,8 +28,12 @@ type Resolver struct {
 	MaxCNAME int
 	// Retries is how many times each server is tried before moving on
 	// (default 1 — the single-shot behaviour of a zdns-style scanner;
-	// interactive resolvers typically retry lost datagrams).
+	// interactive resolvers typically retry lost datagrams). Superseded by
+	// Transport.Retries when that is set.
 	Retries int
+	// Transport tunes upstream timeouts, retry budget, backoff, and pacing.
+	// Nil or zero-valued reproduces the historical single-shot behaviour.
+	Transport *TransportConfig
 	// Trace records per-step resolution events on the Result (a dig +trace
 	// equivalent); off by default to keep scans allocation-free.
 	Trace bool
@@ -38,6 +43,11 @@ type Resolver struct {
 	idCounter atomic.Uint32
 	// QueryCount counts outgoing queries (for the §5 throughput analysis).
 	QueryCount atomic.Uint64
+
+	// srtt tracks per-server smoothed RTT for fastest-first selection. It
+	// only populates once a server reports a non-zero RTT, so on a perfect
+	// network server order is exactly the zone's NS order.
+	srtt srttTable
 }
 
 // New builds a resolver with the given vantage.
@@ -69,6 +79,10 @@ type Result struct {
 	Details map[Condition]string
 	// Trace holds per-step events when the resolver's Trace flag is set.
 	Trace []TraceStep
+	// Cancelled reports that the client's context ended before resolution
+	// finished; the response is a SERVFAIL that was never cached, and scans
+	// should count the target as skipped rather than failed.
+	Cancelled bool
 }
 
 // TraceStep is one resolution event.
@@ -88,12 +102,14 @@ func (r *Result) Codes() []uint16 { return r.Msg.EDECodes() }
 
 // resolution carries the working state of one client query.
 type resolution struct {
-	r       *Resolver
-	ctx     context.Context
-	conds   []Condition
-	details map[Condition]string
-	steps   int
-	trace   []TraceStep
+	r         *Resolver
+	ctx       context.Context
+	conds     []Condition
+	details   map[Condition]string
+	steps     int
+	trace     []TraceStep
+	cancelled bool
+	attempts  int // upstream attempts spent (counts against RetryBudget)
 }
 
 func (st *resolution) traceEvent(server netip.Addr, qname dnswire.Name, qtype dnswire.Type, outcome string) {
@@ -136,6 +152,12 @@ func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswir
 	}
 
 	answer, rcode, secure := st.resolve(qname, qtype, 0)
+
+	if st.cancelled {
+		// The client gave up: answer SERVFAIL but never let an aborted
+		// attempt pollute the error cache or trigger serve-stale.
+		return r.finish(st, qname, qtype, nil, dnswire.RCodeServFail, false)
+	}
 
 	class := worstClass(st.conds)
 	if class == ClassLame || class == ClassBogus {
@@ -226,7 +248,7 @@ func (r *Resolver) finish(st *resolution, qname dnswire.Name, qtype dnswire.Type
 		}
 		msg.AddEDE(uint16(code), text)
 	}
-	out.result = Result{Msg: msg, Conditions: st.conds, Secure: secure, Details: st.details, Trace: st.trace}
+	out.result = Result{Msg: msg, Conditions: st.conds, Secure: secure, Details: st.details, Trace: st.trace, Cancelled: st.cancelled}
 	return &out.result
 }
 
@@ -307,6 +329,13 @@ func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth
 			st.addCond(ConditionIterationLimit, "iteration limit exceeded")
 			return nil, dnswire.RCodeServFail, false
 		}
+		if st.ctx.Err() != nil {
+			// Client cancellation propagates mid-lookup: stop chasing
+			// referrals the moment the parent context ends.
+			st.cancelled = true
+			st.addCond(ConditionCancelled, "")
+			return nil, dnswire.RCodeServFail, false
+		}
 
 		resp, srvAddr, ok := st.queryServers(servers, qname, qtype, chainSecure && len(dsForZone) > 0)
 		if !ok {
@@ -365,41 +394,107 @@ func referralChild(resp *dnswire.Message, zoneName, qname dnswire.Name) (dnswire
 // When every server fails it records the dominant failure conditions and
 // returns ok=false. expectSigned notes whether the zone being queried has a
 // DS (so total failure also implies an unobtainable DNSKEY).
+//
+// Transport policy: servers are visited fastest-SRTT-first (original NS
+// order until any RTT has been observed); each server gets the configured
+// number of attempts with exponential backoff and deterministic jitter
+// between them; the per-attempt timeout comes from the transport config and
+// always respects the parent context's deadline; a transport-level retry
+// budget caps total attempts per resolution. Truncated responses are retried
+// over the stream transport (RFC 7766 fallback). A response that fails the
+// sanity check is retried on the same server — under datagram reordering the
+// next read is the answer to this question.
 func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qtype dnswire.Type, expectSigned bool) (*dnswire.Message, netip.Addr, bool) {
 	r := st.r
-	var sawRefused, sawServfail, sawNotAuth, sawInvalid bool
+	tc := r.Transport
+	var sawRefused, sawServfail, sawNotAuth, sawInvalid, sawMalformed bool
 	var lastAddr netip.Addr
 	var lastRCode dnswire.RCode
-	var invalidAddr netip.Addr
+	var invalidAddr, malformedAddr netip.Addr
 
-	retries := r.Retries
-	if retries < 1 {
-		retries = 1
-	}
-	for _, addr := range servers {
+	retries := tc.retries(r.Retries)
+	budget := tc.budget()
+	timeout := tc.timeout()
+
+	for _, addr := range r.srtt.order(servers) {
 		var resp *dnswire.Message
 		var err error
+		sawTimeout := false
 		for attempt := 0; attempt < retries; attempt++ {
+			if budget > 0 && st.attempts >= budget {
+				st.traceEvent(addr, qname, qtype, "retry budget exhausted")
+				goto totalFailure
+			}
+			if st.ctx.Err() != nil {
+				st.cancelled = true
+				st.addCond(ConditionCancelled, "")
+				return nil, netip.Addr{}, false
+			}
+			if d := tc.backoffFor(addr, attempt); d > 0 {
+				tc.sleep(st.ctx, d)
+				if st.ctx.Err() != nil {
+					st.cancelled = true
+					st.addCond(ConditionCancelled, "")
+					return nil, netip.Addr{}, false
+				}
+			}
 			q := dnswire.NewQuery(uint16(r.idCounter.Add(1)), qname, qtype)
 			q.RecursionDesired = false
 			r.QueryCount.Add(1)
-			ctx, cancel := context.WithTimeout(st.ctx, 2*time.Second)
-			resp, err = r.Net.Query(ctx, addr, q)
+			st.attempts++
+			var rtt time.Duration
+			wantID := q.ID
+			ctx, cancel := context.WithTimeout(st.ctx, timeout)
+			resp, rtt, err = r.Net.Exchange(ctx, addr, q)
+			if err == nil && resp.Truncated {
+				// TC bit: the datagram answer did not fit (or the path
+				// truncates); re-ask over the stream transport.
+				q2 := dnswire.NewQuery(uint16(r.idCounter.Add(1)), qname, qtype)
+				q2.RecursionDesired = false
+				r.QueryCount.Add(1)
+				var rtt2 time.Duration
+				var resp2 *dnswire.Message
+				resp2, rtt2, err = r.Net.ExchangeStream(ctx, addr, q2)
+				if err == nil {
+					resp = resp2
+					rtt += rtt2
+					wantID = q2.ID
+				}
+			}
 			cancel()
 			if err == nil {
+				r.srtt.observe(addr, rtt)
+				// Sanity: the transaction ID and echoed question must
+				// match (a reordered datagram answers someone else's
+				// query); EDNS must be mirrored. A mismatch is retried on
+				// this server — under reordering the next datagram carries
+				// our answer.
+				if resp.ID != wantID || len(resp.Question) == 0 ||
+					resp.Question[0].Name != qname || resp.Question[0].Type != qtype || resp.OPT == nil {
+					sawInvalid = true
+					invalidAddr = addr
+					st.traceEvent(addr, qname, qtype, "invalid response (mismatched question or missing OPT)")
+					err = errInvalidResponse
+					continue
+				}
 				break
 			}
+			if errors.Is(err, netsim.ErrMalformed) {
+				// The path is delivering garbage — an observable network
+				// error, not silence.
+				sawMalformed = true
+				malformedAddr = addr
+				st.traceEvent(addr, qname, qtype, "malformed datagram")
+				continue
+			}
+			sawTimeout = true
+			st.traceEvent(addr, qname, qtype, "timeout")
+		}
+		if sawTimeout {
+			r.srtt.penalize(addr)
 		}
 		if err != nil {
-			st.traceEvent(addr, qname, qtype, "timeout")
-			continue // timeout on every attempt
-		}
-		// Sanity: echoed question must match; EDNS must be mirrored.
-		if len(resp.Question) == 0 || resp.Question[0].Name != qname || resp.OPT == nil {
-			sawInvalid = true
-			invalidAddr = addr
-			st.traceEvent(addr, qname, qtype, "invalid response (mismatched question or missing OPT)")
-			continue
+			continue // every attempt to this server failed
 		}
 		switch resp.RCode {
 		case dnswire.RCodeRefused:
@@ -430,6 +525,7 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 		}
 	}
 
+totalFailure:
 	// Total failure: derive the dominant reachability condition, with the
 	// Cloudflare-style nameserver detail for EXTRA-TEXT.
 	switch {
@@ -444,14 +540,24 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 	case sawInvalid:
 		st.addCond(ConditionInvalidData,
 			fmt.Sprintf("Mismatched question from the authoritative server %s", invalidAddr))
+	case sawMalformed:
+		// Garbled datagrams are a network signal, not silence: EDE 23
+		// (Network Error) territory rather than EDE 22 (No Reachable
+		// Authority).
+		st.addCond(ConditionNetworkError,
+			fmt.Sprintf("Malformed responses from the authoritative server %s", malformedAddr))
 	default:
 		st.addCond(ConditionUnreachableAllTimeout, "")
 	}
-	if expectSigned && !sawInvalid {
+	if expectSigned && !sawInvalid && !sawMalformed {
 		st.addCond(ConditionDNSKEYUnobtainable, "")
 	}
 	return nil, netip.Addr{}, false
 }
+
+// errInvalidResponse marks a received-but-unusable response inside the
+// attempt loop so the same server is retried.
+var errInvalidResponse = errors.New("resolver: invalid upstream response")
 
 // serversForReferral extracts glue addresses for the child's nameservers,
 // resolving out-of-bailiwick hosts as needed.

@@ -83,6 +83,12 @@ func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
 					continue
 				}
 				res := s.Resolver.Resolve(ctx, names[i], dnswire.TypeA)
+				if res.Cancelled {
+					// The resolver was interrupted mid-lookup: the domain
+					// was never measured, not lame.
+					results[i] = Result{Domain: names[i], Skipped: true}
+					continue
+				}
 				out := Result{
 					Domain: names[i],
 					RCode:  res.Msg.RCode,
@@ -108,8 +114,16 @@ func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
 // population.Wild.WarmupDomains), a two-hour clock advance so the warmed
 // entries expire, then the measurement scan of the whole population.
 func WildScan(ctx context.Context, w *population.Wild, profile *resolver.Profile, workers int) ([]Result, *Scanner) {
+	return WildScanTransport(ctx, w, profile, workers, nil)
+}
+
+// WildScanTransport is WildScan with an explicit resolver transport policy,
+// so chaos experiments can scan a faulty wild network with retries and
+// backoff instead of the single-shot default.
+func WildScanTransport(ctx context.Context, w *population.Wild, profile *resolver.Profile, workers int, tc *resolver.TransportConfig) ([]Result, *Scanner) {
 	r := resolver.New(w.Net, w.Roots, w.Anchor, profile)
 	r.Now = w.Now
+	r.Transport = tc
 	s := NewScanner(r)
 	if workers > 0 {
 		s.Workers = workers
