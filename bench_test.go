@@ -217,6 +217,123 @@ func BenchmarkScannerThroughputParallel(b *testing.B) {
 	}
 }
 
+// newScanResolver builds a scan-shaped resolver over the wild network: the
+// answer cache is bypassed (every wild-scan name is unique, so only the
+// infrastructure caches matter) and the delegation cache is toggled by the
+// ablation flag.
+func newScanResolver(w *population.Wild, disableDelegation bool) *resolver.Resolver {
+	r := resolver.New(w.Net, w.Roots, w.Anchor, resolver.ProfileCloudflare())
+	r.Now = w.Now
+	r.DisableAnswerCache = true
+	r.DisableDelegationCache = disableDelegation
+	return r
+}
+
+// measureAmplification runs one full population pass through r with the
+// given worker count and returns the pass's queries-per-resolution factor.
+func measureAmplification(r *resolver.Resolver, w *population.Wild, workers int) float64 {
+	s := scan.NewScanner(r)
+	s.Workers = workers
+	names := make([]dnswire.Name, len(w.Pop.Domains))
+	for i, d := range w.Pop.Domains {
+		names[i] = d.Name
+	}
+	s.Scan(context.Background(), names)
+	return s.QueriesPerResolution
+}
+
+// BenchmarkScanResolveWarmInfra is the tentpole's headline measurement:
+// cold-answer (unique-name) resolutions against warm infrastructure, with
+// the delegation cache on versus off. The queries/resolution metric is the
+// amplification factor the cache exists to collapse (~3+ → ~1).
+func BenchmarkScanResolveWarmInfra(b *testing.B) {
+	_, w, _ := fixtures(b)
+	for _, disable := range []bool{false, true} {
+		name := "delegation=on"
+		if disable {
+			name = "delegation=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := newScanResolver(w, disable)
+			measureAmplification(r, w, 32) // warm the infrastructure caches
+			queries := r.QueryCount.Load()
+			resolutions := r.ResolutionCount.Load()
+			runParallelResolves(b, r, w.Pop.Domains, 32)
+			dq := r.QueryCount.Load() - queries
+			dr := r.ResolutionCount.Load() - resolutions
+			if dr > 0 {
+				b.ReportMetric(float64(dq)/float64(dr), "queries/resolution")
+			}
+		})
+	}
+}
+
+// TestScanQueryAmplificationGate gates the delegation cache's effect (the CI
+// bench-smoke assertion): on a warm-infrastructure scan of the wild
+// population, query amplification must stay at or below 1.5 queries per
+// resolution with the cache, against the 3+ of the start-at-the-root walk.
+// Query counts are deterministic, unlike wall-clock throughput, so the gate
+// is stable on loaded CI runners.
+func TestScanQueryAmplificationGate(t *testing.T) {
+	_, w, _ := fixtures(t)
+
+	rOn := newScanResolver(w, false)
+	measureAmplification(rOn, w, 32) // warm pass
+	qprOn := measureAmplification(rOn, w, 32)
+
+	rOff := newScanResolver(w, true)
+	measureAmplification(rOff, w, 32)
+	qprOff := measureAmplification(rOff, w, 32)
+
+	t.Logf("queries/resolution: delegation=on %.3f, delegation=off %.3f (%.1fx reduction)",
+		qprOn, qprOff, qprOff/qprOn)
+	if qprOn > 1.5 {
+		t.Errorf("warm-infrastructure amplification = %.3f queries/resolution, gate is 1.5", qprOn)
+	}
+	if qprOff < 2 {
+		t.Errorf("delegation=off amplification = %.3f, expected the ~3+ full-walk baseline", qprOff)
+	}
+	if qprOff/qprOn < 2 {
+		t.Errorf("delegation cache reduces amplification %.2fx, want >= 2x", qprOff/qprOn)
+	}
+}
+
+// peakHeapDuring samples HeapAlloc while f runs and returns the peak growth
+// over the pre-call baseline — the heap attributable to f, excluding
+// whatever (e.g. the materialized wild network) was already live.
+// Snapshot-quality (sampling + GC timing), not a gated number.
+func peakHeapDuring(f func()) uint64 {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stop := make(chan struct{})
+	peakc := make(chan uint64)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				peakc <- peak
+				return
+			default:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+	f()
+	close(stop)
+	peak := <-peakc
+	if peak <= base.HeapAlloc {
+		return 0
+	}
+	return peak - base.HeapAlloc
+}
+
 // --- BENCH_scan.json snapshot ---
 
 // benchSnapshot is the schema of BENCH_scan.json: one measured entry per
@@ -235,6 +352,12 @@ type benchPoint struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	ResolutionsS float64 `json:"resolutions_per_sec,omitempty"`
+	// QueriesPerResolution is the scan's query-amplification factor
+	// (upstream queries / client resolutions).
+	QueriesPerResolution float64 `json:"queries_per_resolution,omitempty"`
+	// PeakHeapBytes is the sampled live-heap peak during a whole-scan run
+	// (the streaming-vs-slice memory comparison).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 }
 
 func toPoint(r testing.BenchmarkResult) benchPoint {
@@ -297,6 +420,57 @@ func TestWriteBenchScanSnapshot(t *testing.T) {
 			r.Now = w.Now
 			runParallelResolves(b, r, w.Pop.Domains, workers)
 		}))
+	}
+
+	// Cold-answer/warm-infrastructure ablation: unique-name resolutions at 32
+	// workers with the delegation cache on vs off, with the amplification
+	// factor recorded alongside the throughput.
+	for _, disable := range []bool{false, true} {
+		name := "scan.Resolve/warm-infra/delegation=on"
+		if disable {
+			name = "scan.Resolve/warm-infra/delegation=off"
+		}
+		r := newScanResolver(w, disable)
+		measureAmplification(r, w, 32)
+		queries := r.QueryCount.Load()
+		resolutions := r.ResolutionCount.Load()
+		p := toPoint(testing.Benchmark(func(b *testing.B) {
+			runParallelResolves(b, r, w.Pop.Domains, 32)
+		}))
+		if dr := r.ResolutionCount.Load() - resolutions; dr > 0 {
+			p.QueriesPerResolution = float64(r.QueryCount.Load()-queries) / float64(dr)
+		}
+		cur[name] = p
+	}
+
+	// Whole-scan peak heap (scan-attributable growth): the slice path
+	// materializes every Result, the streaming path holds O(workers). Run at
+	// 10x the bench population so the result storage is visible over scan
+	// working memory. Fresh wilds for each pass (scanning mutates die-after
+	// endpoint state).
+	for _, stream := range []bool{false, true} {
+		name := "scan.WildScan/slice/peak-heap"
+		if stream {
+			name = "scan.WildScan/stream/peak-heap"
+		}
+		wild, err := population.Materialize(population.Generate(population.Config{TotalDomains: 30300, Seed: 42}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p benchPoint
+		start := time.Now()
+		p.PeakHeapBytes = peakHeapDuring(func() {
+			if stream {
+				agg := scan.NewAggregate()
+				scan.WildScanStream(context.Background(), wild, resolver.ProfileCloudflare(), 32, nil,
+					func(r scan.Result) { agg.Add(r) })
+			} else {
+				results, _ := scan.WildScan(context.Background(), wild, resolver.ProfileCloudflare(), 32)
+				scan.Summarize(results)
+			}
+		})
+		p.NsPerOp = float64(time.Since(start).Nanoseconds())
+		cur[name] = p
 	}
 
 	snap := benchSnapshot{

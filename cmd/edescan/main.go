@@ -19,9 +19,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
-
-	"github.com/extended-dns-errors/edelab/internal/dnswire"
 
 	"github.com/extended-dns-errors/edelab/internal/netsim"
 	"github.com/extended-dns-errors/edelab/internal/population"
@@ -45,6 +46,8 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 20230515, "seed for the fault plan; same seed + same flags replays the identical scan")
 	retries := flag.Int("retries", 0, "resolver attempts per authoritative server (0 = single-shot legacy behaviour)")
 	retryBudget := flag.Int("retry-budget", 0, "total upstream queries per resolution step across all servers (0 = unlimited)")
+	aggOnly := flag.Bool("agg-only", false, "stream results straight into the aggregates without materializing per-domain results (O(workers) memory; required headroom for 303M-scale runs)")
+	progress := flag.Duration("progress", 0, "print live scan progress (domains/sec, queries/resolution, aggregate EDE counts) to stderr at this interval, e.g. -progress 2s")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -111,13 +114,83 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "scanning %d domains with %d workers (%s profile) ...\n", len(pop.Domains), *workers, prof.Name)
+
+	// The scan streams: every finished result folds into the mergeable
+	// aggregates as it completes. Without -agg-only the per-domain results
+	// are additionally materialized (the historical behaviour, useful with
+	// -memprofile); with it the scan runs in O(workers) live results.
+	r := resolver.New(wild.Net, wild.Roots, wild.Anchor, prof)
+	r.Now = wild.Now
+	r.Transport = tc
+	scanner := scan.NewScanner(r)
+	if *workers > 0 {
+		scanner.Workers = *workers
+	}
+	ctx := context.Background()
+	if warm := wild.WarmupDomains(); len(warm) > 0 {
+		scanner.Scan(ctx, warm)
+		wild.AdvanceClock(2 * time.Hour)
+	}
+
+	var (
+		mu        sync.Mutex
+		agg       = scan.NewAggregate()
+		tldAgg    = scan.NewTLDAggregate(pop)
+		trancoAgg = scan.NewTrancoAggregate(pop)
+		results   []scan.Result
+		done      atomic.Int64
+	)
+	qBase, rBase := r.QueryCount.Load(), r.ResolutionCount.Load()
+	stopProgress := make(chan struct{})
+	if *progress > 0 {
+		go func() {
+			tick := time.NewTicker(*progress)
+			defer tick.Stop()
+			var lastDone int64
+			lastT := time.Now()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					d := done.Load()
+					queries := r.QueryCount.Load() - qBase
+					resolutions := r.ResolutionCount.Load() - rBase
+					rate := float64(d-lastDone) / time.Since(lastT).Seconds()
+					lastDone, lastT = d, time.Now()
+					qpr := 0.0
+					if resolutions > 0 {
+						qpr = float64(queries) / float64(resolutions)
+					}
+					mu.Lock()
+					top := topCodes(agg, 4)
+					mu.Unlock()
+					fmt.Fprintf(os.Stderr, "progress: %d/%d domains (%.0f/s), %.2f queries/resolution, EDE %s\n",
+						d, len(pop.Domains), rate, qpr, top)
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
-	results, scanner := scan.WildScanTransport(context.Background(), wild, prof, *workers, tc)
+	n := scanner.ScanStream(ctx, pop.Names(), func(res scan.Result) {
+		mu.Lock()
+		agg.Add(res)
+		tldAgg.Add(res)
+		trancoAgg.Add(res)
+		if !*aggOnly {
+			results = append(results, res)
+		}
+		mu.Unlock()
+		done.Add(1)
+	})
 	elapsed := time.Since(start)
+	close(stopProgress)
+	_ = results // retained for heap profiles of the non-streaming shape
 
 	switch *figure {
 	case 1:
-		rows := scan.PerTLD(results, pop)
+		rows := tldAgg.Rows()
 		g, cc := scan.Figure1(rows)
 		if *csv {
 			fmt.Print(report.Figure1CSV(g, cc))
@@ -135,7 +208,7 @@ func main() {
 			scan.FullRatioCount(g)+scan.FullRatioCount(cc))
 		return
 	case 2:
-		stats := scan.Figure2(results, pop)
+		stats := trancoAgg.Stats()
 		if *csv {
 			fmt.Print(report.Figure2CSV(stats))
 			return
@@ -162,31 +235,49 @@ func main() {
 		return
 	}
 
-	agg := scan.Summarize(results)
 	fmt.Print(report.Section42Table(agg))
 
 	if *whatifFix > 0 {
 		fmt.Printf("\nwhat-if: repairing the %d busiest broken nameservers and re-scanning ...\n", *whatifFix)
 		repaired := wild.RepairTopNameservers(*whatifFix)
-		names := make([]dnswire.Name, len(pop.Domains))
-		for i, d := range pop.Domains {
-			names[i] = d.Name
-		}
 		r2 := resolver.New(wild.Net, wild.Roots, wild.Anchor, prof)
 		r2.Now = wild.Now
-		after := scan.Summarize(scan.NewScanner(r2).Scan(context.Background(), names))
+		s2 := scan.NewScanner(r2)
+		after := scan.NewAggregate()
+		s2.ScanStream(context.Background(), pop.Names(), func(res scan.Result) { after.Add(res) })
 		fixed := agg.CodeCounts[22] - after.CodeCounts[22]
 		fmt.Printf("repaired %d nameservers: EDE-22 domains %d -> %d (%.1f%% of stranded domains recovered)\n",
 			repaired, agg.CodeCounts[22], after.CodeCounts[22],
 			100*float64(fixed)/float64(agg.CodeCounts[22]))
 	}
 	fmt.Println()
-	fmt.Printf("scan: %d resolver queries in %v (%.0f resolutions/s, %.0f queries/s)\n",
+	fmt.Printf("scan: %d resolver queries in %v (%.0f resolutions/s, %.0f queries/s, %.2f queries/resolution)\n",
 		scanner.QueryCount, elapsed.Round(time.Millisecond),
-		float64(len(results))/elapsed.Seconds(), float64(scanner.QueryCount)/elapsed.Seconds())
+		float64(n)/elapsed.Seconds(), float64(scanner.QueryCount)/elapsed.Seconds(),
+		scanner.QueriesPerResolution)
 	st := wild.Net.Stats()
 	fmt.Printf("network: %d queries (%d answered, %d unroutable, %d unreachable)\n",
 		st.Queries, st.Answered, st.Unroutable, st.Unreachable)
+}
+
+// topCodes formats the k most frequent EDE codes as "code:count ..." for the
+// progress line.
+func topCodes(agg *scan.Aggregate, k int) string {
+	codes := agg.CodesByCount()
+	if len(codes) == 0 {
+		return "(none)"
+	}
+	if len(codes) > k {
+		codes = codes[:k]
+	}
+	var b strings.Builder
+	for i, c := range codes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", c, agg.CodeCounts[c])
+	}
+	return b.String()
 }
 
 // profileByName maps CLI names to vendor profiles.

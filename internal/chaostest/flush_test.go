@@ -1,0 +1,51 @@
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+// TestChaosFlushedCacheReproducesTable4 is the delegation cache's
+// determinism oracle: running every Table 4 case through a resolver, then
+// flushing every cache (answers, zone keys, AND delegations) and running
+// them again must produce byte-identical per-case outcomes. If cut replay
+// leaked or dropped a condition, the warm-state first pass and the cold
+// second pass would diverge.
+func TestChaosFlushedCacheReproducesTable4(t *testing.T) {
+	tb, err := testbed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, p := range resolver.AllProfiles() {
+		r := tb.NewResolver(p)
+		pass := func() []string {
+			out := make([]string, 0, len(tb.Cases))
+			for _, c := range tb.Cases {
+				res := r.Resolve(ctx, c.Query, dnswire.TypeA)
+				out = append(out, fmt.Sprintf("%s rcode=%s ad=%t codes=%v",
+					c.Label, res.Msg.RCode, res.Msg.AuthenticData, res.Codes()))
+			}
+			return out
+		}
+		first := pass()
+		if r.Cache.DelegationLen() == 0 {
+			t.Fatalf("%s: no delegations cached during the Table 4 run", p.Name)
+		}
+		r.Cache.Flush()
+		if r.Cache.DelegationLen() != 0 {
+			t.Fatalf("%s: Flush left delegations behind", p.Name)
+		}
+		second := pass()
+		for i := range first {
+			if first[i] != second[i] {
+				t.Errorf("%s: flushed-cache divergence:\n  warm: %s\n  cold: %s", p.Name, first[i], second[i])
+			}
+		}
+	}
+}

@@ -237,6 +237,32 @@ type Population struct {
 	Scale float64
 }
 
+// NameIter yields the population's registered-domain names one at a time in
+// generation order. It satisfies scan.NameSource, so a wild scan can stream
+// the population without first materializing a []Name the size of the zone
+// file (303M names at full scale). Next is not safe for concurrent use; the
+// streaming scanner serializes its calls.
+type NameIter struct {
+	domains []*Domain
+	i       int
+}
+
+// Next returns the next domain name, or ok=false when exhausted.
+func (it *NameIter) Next() (dnswire.Name, bool) {
+	if it.i >= len(it.domains) {
+		return "", false
+	}
+	n := it.domains[it.i].Name
+	it.i++
+	return n, true
+}
+
+// Len reports how many names remain.
+func (it *NameIter) Len() int { return len(it.domains) - it.i }
+
+// Names returns a fresh iterator over the population's domains.
+func (p *Population) Names() *NameIter { return &NameIter{domains: p.Domains} }
+
 // ClassQuota returns the scaled target count for class c: round(paper×scale)
 // floored at 1 for classes the paper observed at all.
 func ClassQuota(c Class, scale float64) int {

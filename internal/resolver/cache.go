@@ -1,6 +1,7 @@
 package resolver
 
 import (
+	"net/netip"
 	"sync"
 	"time"
 
@@ -75,6 +76,11 @@ type answerShard struct {
 type Cache struct {
 	shards [numShards]answerShard
 
+	// delegations is the infrastructure cache: zone cuts learned from
+	// referrals, looked up deepest-match so a resolution starts at the
+	// closest known enclosing cut instead of the root.
+	delegations [numShards]delegationShard
+
 	keyMu sync.RWMutex
 	keys  map[dnswire.Name]*zoneKeys
 
@@ -98,6 +104,57 @@ type zoneKeys struct {
 	expiresAt  time.Time
 }
 
+// condRecord is one condition observed on the root→cut walk, with the
+// diagnostic detail that backs its EXTRA-TEXT. Cached cuts replay these so a
+// resolution starting mid-chain reports exactly what a full walk would have.
+type condRecord struct {
+	cond   Condition
+	detail string
+}
+
+// cachedCut is one delegation (zone cut) learned from a referral: the glue
+// addresses of the child's in-bailiwick nameservers, the validated DS set
+// for the child, whether the chain of trust was intact down to this cut, and
+// the walk conditions accumulated from the root to here.
+//
+// Only referrals whose every address came from in-bailiwick glue (owner is
+// one of the child's NS hosts and a subdomain of the child zone) are cached:
+// an authority can then only ever poison entries for names it legitimately
+// serves. Bogus delegations abort resolution before the cut is stored, so
+// validation failures are always re-derived live.
+type cachedCut struct {
+	servers   []netip.Addr
+	ds        []dnswire.DS
+	secure    bool
+	conds     []condRecord
+	expiresAt time.Time
+}
+
+// maxDelegationTTL caps how long a learned cut may be reused, whatever the
+// referral's RR TTLs claim (mirrors real-resolver infrastructure caps).
+const maxDelegationTTL = 24 * time.Hour
+
+// delegationShard is one lock-striped slice of the delegation map.
+type delegationShard struct {
+	mu      sync.Mutex
+	entries map[dnswire.Name]*cachedCut
+}
+
+// nameShard hashes a zone name onto a shard index (FNV-1a, same scheme as
+// cacheKey.shard).
+func nameShard(n dnswire.Name) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(n); i++ {
+		h ^= uint64(n[i])
+		h *= prime64
+	}
+	return h & (numShards - 1)
+}
+
 // NewCache creates an empty cache with RFC 8767-ish defaults.
 func NewCache() *Cache {
 	c := &Cache{
@@ -109,7 +166,80 @@ func NewCache() *Cache {
 	for i := range c.shards {
 		c.shards[i].entries = make(map[cacheKey]*cachedAnswer)
 	}
+	for i := range c.delegations {
+		c.delegations[i].entries = make(map[dnswire.Name]*cachedCut)
+	}
 	return c
+}
+
+// getDelegation returns the deepest cached zone cut enclosing qname (which
+// may be qname itself), or (root, nil) when no fresh cut is known. Expired
+// entries are dropped on the way down, so lookup naturally falls back to the
+// parent cut — and ultimately the root — as TTLs run out.
+func (c *Cache) getDelegation(qname dnswire.Name, now time.Time) (dnswire.Name, *cachedCut) {
+	for n := qname; !n.IsRoot(); n = n.Parent() {
+		s := &c.delegations[nameShard(n)]
+		s.mu.Lock()
+		e, ok := s.entries[n]
+		if ok && now.Before(e.expiresAt) {
+			s.mu.Unlock()
+			return n, e
+		}
+		if ok {
+			delete(s.entries, n)
+		}
+		s.mu.Unlock()
+	}
+	return dnswire.Root, nil
+}
+
+// putDelegation stores a cut learned from a referral, evicting expired (or,
+// failing that, arbitrary) probed entries when the shard is at capacity.
+func (c *Cache) putDelegation(zone dnswire.Name, e *cachedCut, now time.Time) {
+	max := c.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	perShard := max / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s := &c.delegations[nameShard(zone)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[zone]; !exists && len(s.entries) >= perShard {
+		evicted := false
+		probed := 0
+		var victim dnswire.Name
+		for k, old := range s.entries {
+			if !now.Before(old.expiresAt) {
+				delete(s.entries, k)
+				evicted = true
+			} else if probed == 0 {
+				victim = k
+			}
+			probed++
+			if probed >= evictProbes {
+				break
+			}
+		}
+		if !evicted && probed > 0 {
+			delete(s.entries, victim)
+		}
+	}
+	s.entries[zone] = e
+}
+
+// DelegationLen reports the number of cached zone cuts (for tests).
+func (c *Cache) DelegationLen() int {
+	n := 0
+	for i := range c.delegations {
+		s := &c.delegations[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // getAnswer returns a cached answer. fresh is false when the entry is past
@@ -221,12 +351,18 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Flush clears everything.
+// Flush clears everything: answers, zone keys, and delegations.
 func (c *Cache) Flush() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		s.entries = make(map[cacheKey]*cachedAnswer)
+		s.mu.Unlock()
+	}
+	for i := range c.delegations {
+		s := &c.delegations[i]
+		s.mu.Lock()
+		s.entries = make(map[dnswire.Name]*cachedCut)
 		s.mu.Unlock()
 	}
 	c.keyMu.Lock()

@@ -37,12 +37,23 @@ type Resolver struct {
 	// Trace records per-step resolution events on the Result (a dig +trace
 	// equivalent); off by default to keep scans allocation-free.
 	Trace bool
+	// DisableDelegationCache turns off the zone-cut (infrastructure) cache,
+	// restoring the historical start-at-the-root behaviour. Used by the
+	// query-amplification benchmarks and ablation tests.
+	DisableDelegationCache bool
+	// DisableAnswerCache bypasses the completed-answer cache (lookup, store,
+	// serve-stale, and error caching), modelling a zdns-style scan where
+	// every name is unique: only the infrastructure caches stay warm.
+	DisableAnswerCache bool
 
 	Cache *Cache
 
 	idCounter atomic.Uint32
 	// QueryCount counts outgoing queries (for the §5 throughput analysis).
 	QueryCount atomic.Uint64
+	// ResolutionCount counts client Resolve calls; together with QueryCount
+	// it yields the query-amplification metric QueriesPerResolution.
+	ResolutionCount atomic.Uint64
 
 	// srtt tracks per-server smoothed RTT for fastest-first selection. It
 	// only populates once a server reports a non-zero RTT, so on a perfect
@@ -100,6 +111,17 @@ func (t TraceStep) String() string {
 // Codes returns the EDE codes attached to the response.
 func (r *Result) Codes() []uint16 { return r.Msg.EDECodes() }
 
+// QueriesPerResolution returns the average number of upstream queries per
+// client resolution since the resolver was created — the query-amplification
+// metric the delegation cache exists to drive toward 1.
+func (r *Resolver) QueriesPerResolution() float64 {
+	res := r.ResolutionCount.Load()
+	if res == 0 {
+		return 0
+	}
+	return float64(r.QueryCount.Load()) / float64(res)
+}
+
 // resolution carries the working state of one client query.
 type resolution struct {
 	r         *Resolver
@@ -142,13 +164,16 @@ func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswir
 	// every healthy domain in a wild scan — never record a detail string.
 	st := &resolution{r: r, ctx: ctx}
 	now := r.Now()
+	r.ResolutionCount.Add(1)
 
 	key := cacheKey{qname, qtype}
-	if entry, fresh, ok := r.Cache.getAnswer(key, now); ok {
-		if fresh {
-			return r.finishFromCache(st, qname, qtype, entry, nil)
+	if !r.DisableAnswerCache {
+		if entry, fresh, ok := r.Cache.getAnswer(key, now); ok {
+			if fresh {
+				return r.finishFromCache(st, qname, qtype, entry, nil)
+			}
+			// Expired: retry live, fall back to stale below.
 		}
-		// Expired: retry live, fall back to stale below.
 	}
 
 	answer, rcode, secure := st.resolve(qname, qtype, 0)
@@ -160,6 +185,9 @@ func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswir
 	}
 
 	class := worstClass(st.conds)
+	if r.DisableAnswerCache {
+		return r.finish(st, qname, qtype, answer, rcode, secure)
+	}
 	if class == ClassLame || class == ClassBogus {
 		// Serve-stale: a failed resolution can fall back to expired cache
 		// content when the profile supports RFC 8767.
@@ -323,6 +351,23 @@ func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth
 	dsForZone := r.TrustAnchor
 	chainSecure := len(r.TrustAnchor) > 0
 
+	// Start at the deepest cached zone cut instead of the root, replaying
+	// the conditions the original root→cut walk recorded so the response is
+	// indistinguishable from a cold resolution. condBase marks where this
+	// invocation's conditions begin, so cuts cached below inherit exactly
+	// the walk-so-far (replayed + newly observed) conditions.
+	condBase := len(st.conds)
+	var inherited []condRecord
+	if !r.DisableDelegationCache {
+		if cutZone, cut := r.Cache.getDelegation(qname, r.Now()); cut != nil {
+			zoneName, servers, dsForZone, chainSecure = cutZone, cut.servers, cut.ds, cut.secure
+			inherited = cut.conds
+			for _, cr := range cut.conds {
+				st.addCond(cr.cond, cr.detail)
+			}
+		}
+	}
+
 	for {
 		st.steps++
 		if st.steps > r.MaxSteps {
@@ -347,11 +392,25 @@ func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth
 			if bogusAbort(st.conds) {
 				return nil, dnswire.RCodeServFail, false
 			}
-			next := st.serversForReferral(resp, child, cnameDepth)
+			next, cacheable, cutTTL := st.serversForReferral(resp, child, cnameDepth)
 			if len(next) == 0 {
 				// Nameserver names resolved to nothing usable: lame.
 				st.addCond(ConditionUnreachableAllTimeout, "")
 				return nil, dnswire.RCodeServFail, false
+			}
+			if cacheable && !r.DisableDelegationCache {
+				now := r.Now()
+				ttl := time.Duration(cutTTL) * time.Second
+				if ttl > maxDelegationTTL {
+					ttl = maxDelegationTTL
+				}
+				if ttl > 0 {
+					r.Cache.putDelegation(child, &cachedCut{
+						servers: next, ds: childDS, secure: childSecure,
+						conds:     walkConds(inherited, st.conds[condBase:], st.details),
+						expiresAt: now.Add(ttl),
+					}, now)
+				}
 			}
 			zoneName, servers, dsForZone, chainSecure = child, next, childDS, childSecure
 			continue
@@ -561,14 +620,38 @@ var errInvalidResponse = errors.New("resolver: invalid upstream response")
 
 // serversForReferral extracts glue addresses for the child's nameservers,
 // resolving out-of-bailiwick hosts as needed.
-func (st *resolution) serversForReferral(resp *dnswire.Message, child dnswire.Name, depth int) []netip.Addr {
+//
+// cacheable reports whether the address set may enter the delegation cache:
+// true only when every address came from Additional-section glue whose owner
+// is one of the child's NS hosts and sits inside the child zone (the classic
+// bailiwick rule). Addresses stuffed under foreign owners, or obtained via
+// sub-resolution, are still used for this resolution — behaviour is
+// unchanged — but never cached, so an authority cannot seed cuts for zones
+// it does not serve. ttl is the minimum TTL across the NS RRset and the glue
+// used, bounding how long a cached cut may live.
+func (st *resolution) serversForReferral(resp *dnswire.Message, child dnswire.Name, depth int) (addrs []netip.Addr, cacheable bool, ttl uint32) {
 	var hosts []dnswire.Name
+	ttl = ^uint32(0)
 	for _, rr := range resp.Authority {
 		if ns, ok := rr.Data.(dnswire.NS); ok && rr.Name == child {
 			hosts = append(hosts, ns.Host)
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
 		}
 	}
-	var addrs []netip.Addr
+	inBailiwick := func(owner dnswire.Name) bool {
+		if !owner.IsSubdomainOf(child) {
+			return false
+		}
+		for _, h := range hosts {
+			if h == owner {
+				return true
+			}
+		}
+		return false
+	}
+	cacheable = true
 	glued := make(map[dnswire.Name]bool)
 	for _, rr := range resp.Additional {
 		switch d := rr.Data.(type) {
@@ -578,15 +661,23 @@ func (st *resolution) serversForReferral(resp *dnswire.Message, child dnswire.Na
 		case dnswire.AAAA:
 			addrs = append(addrs, d.Addr)
 			glued[rr.Name] = true
+		default:
+			continue
+		}
+		if !inBailiwick(rr.Name) {
+			cacheable = false
+		} else if rr.TTL < ttl {
+			ttl = rr.TTL
 		}
 	}
 	if len(addrs) > 0 {
-		return addrs
+		return addrs, cacheable && len(hosts) > 0, ttl
 	}
 	// Out-of-bailiwick nameservers: resolve their addresses with a bounded
-	// sub-resolution that shares the step budget.
+	// sub-resolution that shares the step budget. Never cacheable: the
+	// addresses were not attested by the delegating parent.
 	if depth >= st.r.MaxCNAME {
-		return nil
+		return nil, false, 0
 	}
 	for _, host := range hosts {
 		if glued[host] {
@@ -604,5 +695,5 @@ func (st *resolution) serversForReferral(resp *dnswire.Message, child dnswire.Na
 			break
 		}
 	}
-	return addrs
+	return addrs, false, 0
 }

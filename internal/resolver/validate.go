@@ -9,6 +9,33 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 )
 
+// walkConds snapshots the conditions a root→cut walk accumulated, for
+// storage in the delegation cache. inherited is the replayed condition set
+// of the cached cut the walk started from; observed is the slice of
+// conditions this resolve invocation recorded (replayed ones included, but
+// possibly deduplicated away when an outer CNAME phase had already recorded
+// them — which is why inherited is carried explicitly). details supplies the
+// EXTRA-TEXT backing for each condition.
+func walkConds(inherited []condRecord, observed []Condition, details map[Condition]string) []condRecord {
+	if len(inherited) == 0 && len(observed) == 0 {
+		return nil
+	}
+	out := append([]condRecord(nil), inherited...)
+	for _, c := range observed {
+		dup := false
+		for _, have := range out {
+			if have.cond == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, condRecord{cond: c, detail: details[c]})
+		}
+	}
+	return out
+}
+
 // splitSection divides records into the RRset for (owner, t) and the RRSIGs
 // covering it.
 func splitSection(rrs []dnswire.RR, owner dnswire.Name, t dnswire.Type) (set, sigs []dnswire.RR) {

@@ -21,32 +21,65 @@ type Aggregate struct {
 	RCodes map[dnswire.RCode]int
 }
 
-// Aggregate computes the global counters.
-func Summarize(results []Result) *Aggregate {
-	a := &Aggregate{
+// NewAggregate returns an empty accumulator ready for Add.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
 		CodeCounts: make(map[uint16]int),
 		RCodes:     make(map[dnswire.RCode]int),
 	}
-	for _, r := range results {
-		if r.Skipped {
-			continue // cancelled before resolution: no observation to count
-		}
-		a.Total++
-		a.RCodes[r.RCode]++
-		if !r.HasEDE() {
-			continue
-		}
-		a.WithEDE++
-		if r.RCode == dnswire.RCodeNoError {
-			a.NoErrorWithEDE++
-		}
-		seen := map[uint16]bool{}
-		for _, c := range r.Codes {
-			if !seen[c] {
-				seen[c] = true
-				a.CodeCounts[c]++
+}
+
+// Add folds one scan result into the counters. It allocates nothing on the
+// steady state, so a streaming scan can call it once per domain: EDE codes
+// are deduplicated with a scan over the (≤ handful of) preceding codes
+// instead of a per-result map.
+func (a *Aggregate) Add(r Result) {
+	if r.Skipped {
+		return // cancelled before resolution: no observation to count
+	}
+	a.Total++
+	a.RCodes[r.RCode]++
+	if !r.HasEDE() {
+		return
+	}
+	a.WithEDE++
+	if r.RCode == dnswire.RCodeNoError {
+		a.NoErrorWithEDE++
+	}
+	for i, c := range r.Codes {
+		dup := false
+		for _, p := range r.Codes[:i] {
+			if p == c {
+				dup = true
+				break
 			}
 		}
+		if !dup {
+			a.CodeCounts[c]++
+		}
+	}
+}
+
+// Merge folds another accumulator (e.g. a per-worker shard of the same scan)
+// into a.
+func (a *Aggregate) Merge(b *Aggregate) {
+	a.Total += b.Total
+	a.WithEDE += b.WithEDE
+	a.NoErrorWithEDE += b.NoErrorWithEDE
+	for c, n := range b.CodeCounts {
+		a.CodeCounts[c] += n
+	}
+	for rc, n := range b.RCodes {
+		a.RCodes[rc] += n
+	}
+}
+
+// Summarize computes the global counters over a completed scan (the
+// slice-shaped wrapper over Add).
+func Summarize(results []Result) *Aggregate {
+	a := NewAggregate()
+	for _, r := range results {
+		a.Add(r)
 	}
 	return a
 }
@@ -83,35 +116,78 @@ func (t TLDRatio) Ratio() float64 {
 	return 100 * float64(t.WithEDE) / float64(t.Total)
 }
 
-// PerTLD joins scan results with the population's TLD table.
-func PerTLD(results []Result, pop *population.Population) []TLDRatio {
-	byTLD := make(map[string]*TLDRatio)
-	index := make(map[dnswire.Name]*population.Domain, len(pop.Domains))
+// TLDAggregate accumulates per-TLD EDE ratios (Figure 1's input) online.
+// The population index is built once at construction, not per call, so a
+// streaming scan pays one map lookup per result.
+type TLDAggregate struct {
+	index map[dnswire.Name]*population.Domain
+	rows  map[string]*TLDRatio
+}
+
+// NewTLDAggregate builds an empty accumulator over pop's TLD table.
+func NewTLDAggregate(pop *population.Population) *TLDAggregate {
+	t := &TLDAggregate{
+		index: make(map[dnswire.Name]*population.Domain, len(pop.Domains)),
+		rows:  make(map[string]*TLDRatio, len(pop.TLDs)),
+	}
 	for _, d := range pop.Domains {
-		index[d.Name] = d
+		t.index[d.Name] = d
 	}
-	for _, t := range pop.TLDs {
-		byTLD[t.Label] = &TLDRatio{TLD: t.Label, CC: t.CC}
+	for _, tld := range pop.TLDs {
+		t.rows[tld.Label] = &TLDRatio{TLD: tld.Label, CC: tld.CC}
 	}
-	for _, r := range results {
-		d, ok := index[r.Domain]
+	return t
+}
+
+// Add folds one scan result into its TLD's row.
+func (t *TLDAggregate) Add(r Result) {
+	if r.Skipped {
+		return
+	}
+	d, ok := t.index[r.Domain]
+	if !ok {
+		return
+	}
+	row := t.rows[d.TLD.Label]
+	row.Total++
+	if r.HasEDE() {
+		row.WithEDE++
+	}
+}
+
+// Merge folds another accumulator built over the same population into t.
+func (t *TLDAggregate) Merge(o *TLDAggregate) {
+	for label, row := range o.rows {
+		dst, ok := t.rows[label]
 		if !ok {
+			t.rows[label] = &TLDRatio{TLD: row.TLD, CC: row.CC, Total: row.Total, WithEDE: row.WithEDE}
 			continue
 		}
-		row := byTLD[d.TLD.Label]
-		row.Total++
-		if r.HasEDE() {
-			row.WithEDE++
-		}
+		dst.Total += row.Total
+		dst.WithEDE += row.WithEDE
 	}
-	out := make([]TLDRatio, 0, len(byTLD))
-	for _, row := range byTLD {
+}
+
+// Rows returns the populated TLD rows sorted by label.
+func (t *TLDAggregate) Rows() []TLDRatio {
+	out := make([]TLDRatio, 0, len(t.rows))
+	for _, row := range t.rows {
 		if row.Total > 0 {
 			out = append(out, *row)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].TLD < out[j].TLD })
 	return out
+}
+
+// PerTLD joins scan results with the population's TLD table (the
+// slice-shaped wrapper over TLDAggregate).
+func PerTLD(results []Result, pop *population.Population) []TLDRatio {
+	t := NewTLDAggregate(pop)
+	for _, r := range results {
+		t.Add(r)
+	}
+	return t.Rows()
 }
 
 // CDF returns cumulative-distribution points (x sorted ascending, y in
@@ -182,26 +258,60 @@ type TrancoStats struct {
 	Ranks []int
 }
 
-// Figure2 joins scan results with the population ranking.
-func Figure2(results []Result, pop *population.Population) TrancoStats {
-	index := make(map[dnswire.Name]*population.Domain, len(pop.Domains))
+// TrancoAggregate accumulates the §4.3 popularity-overlap stats online. Its
+// live state is O(overlap) — the ranks of EDE-triggering ranked domains —
+// which is bounded by the Tranco list size, not the population size.
+type TrancoAggregate struct {
+	index map[dnswire.Name]*population.Domain
+	stats TrancoStats
+}
+
+// NewTrancoAggregate builds an empty accumulator over pop's ranking.
+func NewTrancoAggregate(pop *population.Population) *TrancoAggregate {
+	t := &TrancoAggregate{
+		index: make(map[dnswire.Name]*population.Domain, len(pop.Domains)),
+		stats: TrancoStats{ListSize: pop.TrancoSize},
+	}
 	for _, d := range pop.Domains {
-		index[d.Name] = d
+		t.index[d.Name] = d
 	}
-	stats := TrancoStats{ListSize: pop.TrancoSize}
+	return t
+}
+
+// Add folds one scan result into the overlap stats.
+func (t *TrancoAggregate) Add(r Result) {
+	d, ok := t.index[r.Domain]
+	if !ok || d.Rank == 0 || !r.HasEDE() {
+		return
+	}
+	t.stats.Overlap++
+	if r.RCode == dnswire.RCodeNoError {
+		t.stats.NoError++
+	}
+	t.stats.Ranks = append(t.stats.Ranks, d.Rank)
+}
+
+// Merge folds another accumulator built over the same population into t.
+func (t *TrancoAggregate) Merge(o *TrancoAggregate) {
+	t.stats.Overlap += o.stats.Overlap
+	t.stats.NoError += o.stats.NoError
+	t.stats.Ranks = append(t.stats.Ranks, o.stats.Ranks...)
+}
+
+// Stats returns the accumulated overlap with ranks sorted ascending.
+func (t *TrancoAggregate) Stats() TrancoStats {
+	sort.Ints(t.stats.Ranks)
+	return t.stats
+}
+
+// Figure2 joins scan results with the population ranking (the slice-shaped
+// wrapper over TrancoAggregate).
+func Figure2(results []Result, pop *population.Population) TrancoStats {
+	t := NewTrancoAggregate(pop)
 	for _, r := range results {
-		d, ok := index[r.Domain]
-		if !ok || d.Rank == 0 || !r.HasEDE() {
-			continue
-		}
-		stats.Overlap++
-		if r.RCode == dnswire.RCodeNoError {
-			stats.NoError++
-		}
-		stats.Ranks = append(stats.Ranks, d.Rank)
+		t.Add(r)
 	}
-	sort.Ints(stats.Ranks)
-	return stats
+	return t.Stats()
 }
 
 // NSConcentration reproduces §4.2 item 2: malfunctioning nameservers sorted

@@ -39,9 +39,14 @@ type Scanner struct {
 	Resolver *resolver.Resolver
 	// Workers is the concurrency level (default 32).
 	Workers int
-	// QueryCount and Elapsed are filled by Scan for the §5 rate analysis.
-	QueryCount uint64
-	Elapsed    time.Duration
+	// QueryCount, Resolutions, and Elapsed are filled by Scan/ScanStream for
+	// the §5 rate analysis.
+	QueryCount  uint64
+	Resolutions uint64
+	Elapsed     time.Duration
+	// QueriesPerResolution is the scan's query-amplification factor
+	// (QueryCount / Resolutions); the delegation cache drives it toward 1.
+	QueriesPerResolution float64
 }
 
 // NewScanner builds a scanner over r.
@@ -49,64 +54,151 @@ func NewScanner(r *resolver.Resolver) *Scanner {
 	return &Scanner{Resolver: r, Workers: 32}
 }
 
-// Scan resolves the A record of every name and returns results in input
-// order. Cancelling ctx stops the scan promptly: names not yet resolved are
-// returned with Skipped set instead of being drained through the resolver.
-func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
+// NameSource feeds names to ScanStream one at a time, so a scan never has to
+// materialize its whole target list. Next is called serially by the scanner;
+// implementations need not be safe for concurrent use.
+type NameSource interface {
+	// Next returns the next name to scan, or ok=false when exhausted.
+	Next() (dnswire.Name, bool)
+}
+
+// sliceSource adapts an in-memory name list to a NameSource.
+type sliceSource struct {
+	names []dnswire.Name
+	i     int
+}
+
+func (s *sliceSource) Next() (dnswire.Name, bool) {
+	if s.i >= len(s.names) {
+		return "", false
+	}
+	n := s.names[s.i]
+	s.i++
+	return n, true
+}
+
+// SliceSource returns a NameSource over an in-memory list.
+func SliceSource(names []dnswire.Name) NameSource { return &sliceSource{names: names} }
+
+// run is the shared worker core behind Scan and ScanStream. next hands out
+// (name, sequence) pairs and must be safe for concurrent calls; emit receives
+// each finished result with its sequence number and must be safe for
+// concurrent calls. Cancelling ctx stops resolution promptly: the remaining
+// names are drained from next and emitted with Skipped set, preserving
+// one-emit-per-name accounting.
+func (s *Scanner) run(ctx context.Context, next func() (dnswire.Name, int, bool), emit func(int, Result)) {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = 32
 	}
 	start := time.Now()
-	before := s.Resolver.QueryCount.Load()
+	queriesBefore := s.Resolver.QueryCount.Load()
+	resolutionsBefore := s.Resolver.ResolutionCount.Load()
 
-	// Work is handed out through an atomic counter rather than a channel: a
-	// channel send/receive is a synchronization point between the dispatcher
-	// and a worker on every single domain, which serializes short resolutions
-	// (cache hits). Each worker claims the next index with one atomic add.
-	// After cancellation, workers sweep the remaining indices marking them
-	// Skipped, preserving the prompt-stop semantics of the channel version.
-	results := make([]Result, len(names))
 	var wg sync.WaitGroup
-	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(names) {
+				name, seq, ok := next()
+				if !ok {
 					return
 				}
 				if ctx.Err() != nil {
-					results[i] = Result{Domain: names[i], Skipped: true}
+					emit(seq, Result{Domain: name, Skipped: true})
 					continue
 				}
-				res := s.Resolver.Resolve(ctx, names[i], dnswire.TypeA)
+				res := s.Resolver.Resolve(ctx, name, dnswire.TypeA)
 				if res.Cancelled {
 					// The resolver was interrupted mid-lookup: the domain
 					// was never measured, not lame.
-					results[i] = Result{Domain: names[i], Skipped: true}
+					emit(seq, Result{Domain: name, Skipped: true})
 					continue
 				}
 				out := Result{
-					Domain: names[i],
+					Domain: name,
 					RCode:  res.Msg.RCode,
 					Secure: res.Msg.AuthenticData,
 				}
-				for _, e := range res.Msg.EDEs() {
-					out.Codes = append(out.Codes, e.InfoCode)
-					out.ExtraTexts = append(out.ExtraTexts, e.ExtraText)
+				if edes := res.Msg.EDEs(); len(edes) > 0 {
+					out.Codes = make([]uint16, len(edes))
+					out.ExtraTexts = make([]string, len(edes))
+					for i, e := range edes {
+						out.Codes[i] = e.InfoCode
+						out.ExtraTexts[i] = e.ExtraText
+					}
 				}
-				results[i] = out
+				emit(seq, out)
 			}
 		}()
 	}
 	wg.Wait()
 
 	s.Elapsed = time.Since(start)
-	s.QueryCount = s.Resolver.QueryCount.Load() - before
+	s.QueryCount = s.Resolver.QueryCount.Load() - queriesBefore
+	s.Resolutions = s.Resolver.ResolutionCount.Load() - resolutionsBefore
+	if s.Resolutions > 0 {
+		s.QueriesPerResolution = float64(s.QueryCount) / float64(s.Resolutions)
+	}
+}
+
+// Scan resolves the A record of every name and returns results in input
+// order. Cancelling ctx stops the scan promptly: names not yet resolved are
+// returned with Skipped set instead of being drained through the resolver.
+// It is a thin slice-shaped wrapper over the streaming core.
+func (s *Scanner) Scan(ctx context.Context, names []dnswire.Name) []Result {
+	// Work is handed out through an atomic counter rather than a channel: a
+	// channel send/receive is a synchronization point between the dispatcher
+	// and a worker on every single domain, which serializes short resolutions
+	// (cache hits). Each worker claims the next index with one atomic add.
+	results := make([]Result, len(names))
+	var next atomic.Int64
+	s.run(ctx,
+		func() (dnswire.Name, int, bool) {
+			i := int(next.Add(1)) - 1
+			if i >= len(names) {
+				return "", 0, false
+			}
+			return names[i], i, true
+		},
+		func(i int, r Result) { results[i] = r },
+	)
 	return results
+}
+
+// ScanStream resolves every name src yields and hands each finished Result
+// to sink, never holding more than O(workers) results live: the scan's
+// memory footprint is independent of the population size. sink is called
+// serially (no locking needed inside) in completion order, which is not the
+// source order. It returns the number of results emitted.
+func (s *Scanner) ScanStream(ctx context.Context, src NameSource, sink func(Result)) int {
+	var (
+		srcMu  sync.Mutex
+		seq    int
+		sinkMu sync.Mutex
+		n      int
+	)
+	s.run(ctx,
+		func() (dnswire.Name, int, bool) {
+			srcMu.Lock()
+			defer srcMu.Unlock()
+			name, ok := src.Next()
+			if !ok {
+				return "", 0, false
+			}
+			i := seq
+			seq++
+			return name, i, true
+		},
+		func(_ int, r Result) {
+			sinkMu.Lock()
+			defer sinkMu.Unlock()
+			n++
+			sink(r)
+		},
+	)
+	return n
 }
 
 // WildScan runs the full §4 experiment against a materialized wild network:
@@ -121,6 +213,28 @@ func WildScan(ctx context.Context, w *population.Wild, profile *resolver.Profile
 // so chaos experiments can scan a faulty wild network with retries and
 // backoff instead of the single-shot default.
 func WildScanTransport(ctx context.Context, w *population.Wild, profile *resolver.Profile, workers int, tc *resolver.TransportConfig) ([]Result, *Scanner) {
+	s := wildScanner(ctx, w, profile, workers, tc)
+	names := make([]dnswire.Name, len(w.Pop.Domains))
+	for i, d := range w.Pop.Domains {
+		names[i] = d.Name
+	}
+	results := s.Scan(ctx, names)
+	return results, s
+}
+
+// WildScanStream is the constant-memory variant of WildScanTransport: the
+// measurement pass streams the population through sink instead of returning
+// a slice, so a wild scan runs in O(workers) live results whatever the
+// population size. sink is called serially in completion order.
+func WildScanStream(ctx context.Context, w *population.Wild, profile *resolver.Profile, workers int, tc *resolver.TransportConfig, sink func(Result)) *Scanner {
+	s := wildScanner(ctx, w, profile, workers, tc)
+	s.ScanStream(ctx, w.Pop.Names(), sink)
+	return s
+}
+
+// wildScanner builds the measurement resolver and runs the warmup pass
+// shared by the slice and streaming wild-scan entry points.
+func wildScanner(ctx context.Context, w *population.Wild, profile *resolver.Profile, workers int, tc *resolver.TransportConfig) *Scanner {
 	r := resolver.New(w.Net, w.Roots, w.Anchor, profile)
 	r.Now = w.Now
 	r.Transport = tc
@@ -128,16 +242,9 @@ func WildScanTransport(ctx context.Context, w *population.Wild, profile *resolve
 	if workers > 0 {
 		s.Workers = workers
 	}
-
 	if warm := w.WarmupDomains(); len(warm) > 0 {
 		s.Scan(ctx, warm)
 		w.AdvanceClock(2 * time.Hour)
 	}
-
-	names := make([]dnswire.Name, len(w.Pop.Domains))
-	for i, d := range w.Pop.Domains {
-		names[i] = d.Name
-	}
-	results := s.Scan(ctx, names)
-	return results, s
+	return s
 }
