@@ -32,6 +32,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/population"
 	"github.com/extended-dns-errors/edelab/internal/resolver"
 	"github.com/extended-dns-errors/edelab/internal/scan"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
 	"github.com/extended-dns-errors/edelab/internal/testbed"
 	"github.com/extended-dns-errors/edelab/internal/zone"
 )
@@ -298,6 +299,89 @@ func TestScanQueryAmplificationGate(t *testing.T) {
 	}
 }
 
+// TestTraceOverheadGate is the telemetry subsystem's performance acceptance
+// check (CI runs it explicitly): with tracing disabled — the steady state for
+// every scan and for unsampled server queries — the instrumentation must be
+// free. Two bounds:
+//
+//  1. Allocations: a warm cached Resolve through a context that explicitly
+//     carries a nil span must allocate exactly what a bare context does.
+//  2. Time: a 32-worker warm-infrastructure scan pass under the nil-span
+//     context must stay within 5% of the bare-context pass. Both sides take
+//     the minimum of interleaved runs, which strips scheduler noise the way
+//     a mean cannot.
+func TestTraceOverheadGate(t *testing.T) {
+	tb, w, _ := fixtures(t)
+
+	// Alloc parity on the cached-answer fast path.
+	r := tb.NewResolver(resolver.ProfileCloudflare())
+	name := testbed.ParentZone.Child("valid")
+	plain := context.Background()
+	nilSpan := telemetry.WithSpan(context.Background(), nil)
+	r.Resolve(plain, name, dnswire.TypeA)
+	base := testing.AllocsPerRun(200, func() { r.Resolve(plain, name, dnswire.TypeA) })
+	withNil := testing.AllocsPerRun(200, func() { r.Resolve(nilSpan, name, dnswire.TypeA) })
+	if withNil != base {
+		t.Errorf("disabled tracing changed cached Resolve allocs: %.1f/op with nil span vs %.1f/op bare (must add 0)",
+			withNil, base)
+	}
+
+	// ns/op over the 32-worker scan shape: one full population pass per run.
+	rs := newScanResolver(w, false)
+	measureAmplification(rs, w, 32) // warm the infrastructure caches
+	pass := func(ctx context.Context) time.Duration {
+		total := int64(2 * len(w.Pop.Domains)) // big enough that scheduler jitter averages out
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for wk := 0; wk < 32; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := idx.Add(1) - 1
+					if i >= total {
+						return
+					}
+					rs.Resolve(ctx, w.Pop.Domains[i%int64(len(w.Pop.Domains))].Name, dnswire.TypeA)
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	pass(plain) // settle the caches and the scheduler before measuring
+	timed := func(ctx context.Context) time.Duration {
+		runtime.GC() // keep collector pauses out of the measured window
+		return pass(ctx)
+	}
+	var minBase, minNil time.Duration
+	for i := 0; i < 10; i++ {
+		// Alternate the order so drift (heap growth, CPU thermal state)
+		// cannot systematically favour one side.
+		first, second := plain, nilSpan
+		if i%2 == 1 {
+			first, second = nilSpan, plain
+		}
+		dFirst, dSecond := timed(first), timed(second)
+		dBase, dNil := dFirst, dSecond
+		if i%2 == 1 {
+			dBase, dNil = dSecond, dFirst
+		}
+		if minBase == 0 || dBase < minBase {
+			minBase = dBase
+		}
+		if minNil == 0 || dNil < minNil {
+			minNil = dNil
+		}
+	}
+	ratio := float64(minNil) / float64(minBase)
+	t.Logf("32-worker pass: bare ctx %v, nil-span ctx %v (ratio %.3f)", minBase, minNil, ratio)
+	if ratio > 1.05 {
+		t.Errorf("disabled tracing costs %.1f%% on the 32-worker scan pass, gate is 5%%", 100*(ratio-1))
+	}
+}
+
 // peakHeapDuring samples HeapAlloc while f runs and returns the peak growth
 // over the pre-call baseline — the heap attributable to f, excluding
 // whatever (e.g. the materialized wild network) was already live.
@@ -339,11 +423,11 @@ func peakHeapDuring(f func()) uint64 {
 // benchSnapshot is the schema of BENCH_scan.json: one measured entry per
 // tracked metric, plus the pre-optimization baseline kept for comparison.
 type benchSnapshot struct {
-	Note     string                 `json:"note"`
-	Go       string                 `json:"go"`
-	CPUs     int                    `json:"cpus"`
-	Baseline map[string]benchPoint  `json:"baseline,omitempty"`
-	Current  map[string]benchPoint  `json:"current"`
+	Note     string                `json:"note"`
+	Go       string                `json:"go"`
+	CPUs     int                   `json:"cpus"`
+	Baseline map[string]benchPoint `json:"baseline,omitempty"`
+	Current  map[string]benchPoint `json:"current"`
 }
 
 // benchPoint is one benchmark measurement.

@@ -1,12 +1,23 @@
 // Command ededig is a dig-like DNS client that understands RFC 8914: it
-// sends an EDNS query with DO set, prints the response, decodes every
-// Extended DNS Error option against the registry, and runs the
+// sends an EDNS query with DO set, prints the response with its round-trip
+// time, decodes every Extended DNS Error option (info-code, registry name,
+// category, and EXTRA-TEXT) against the registry, and runs the
 // troubleshooting engine over the result.
 //
 // Usage:
 //
 //	ededig -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
 //	ededig -server 127.0.0.1:5353 -type AAAA valid.extended-dns-errors.com
+//
+// With -trace the query skips the wire entirely: the built-in testbed is
+// constructed in-process, a validating resolver (pick one with -profile)
+// resolves the name with tracing enabled, and the full resolution trace is
+// rendered — every zone cut of the delegation walk, cache decisions,
+// per-server transport attempts with RTT and retry reasons, DNSSEC
+// validation verdicts, and the exact point where each EDE attached:
+//
+//	ededig -trace ds-bogus-digest-value.extended-dns-errors.com
+//	ededig -trace -profile google rrsig-exp-all.extended-dns-errors.com
 package main
 
 import (
@@ -20,6 +31,9 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/authserver"
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
 )
 
 func main() {
@@ -27,6 +41,8 @@ func main() {
 	qtypeName := flag.String("type", "A", "query type (A, AAAA, NS, SOA, TXT, DS, DNSKEY, NSEC3PARAM)")
 	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
 	noDO := flag.Bool("cd-only", false, "clear the DO bit")
+	traceMode := flag.Bool("trace", false, "resolve in-process against the built-in testbed and render the resolution trace (ignores -server)")
+	profileName := flag.String("profile", "cloudflare", "vendor profile for -trace (cloudflare, google, quad9, ...)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -45,41 +61,92 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceMode {
+		runTrace(name, qtype, *profileName)
+		return
+	}
+
 	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), name, qtype)
 	if *noDO {
 		q.OPT.DO = false
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	start := time.Now()
 	resp, err := authserver.QueryUDP(ctx, *server, q)
+	rtt := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ededig: query failed: %v\n", err)
 		os.Exit(1)
 	}
 
 	fmt.Print(resp.String())
+	fmt.Printf(";; Query time: %d msec\n", rtt.Milliseconds())
+	fmt.Printf(";; SERVER: %s\n", *server)
+	printEDEs(resp)
+	printDiagnosis(resp)
+}
 
+// runTrace resolves the name against the in-process testbed with a live
+// trace in the context, then renders the span tree the resolver built.
+func runTrace(name dnswire.Name, qtype dnswire.Type, profileName string) {
+	tb, err := testbed.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ededig: building testbed: %v\n", err)
+		os.Exit(1)
+	}
+	res := tb.NewResolver(resolverProfile(profileName))
+	ctx, tr := telemetry.StartTrace(context.Background(), fmt.Sprintf("%s %s", name, qtype))
+	start := time.Now()
+	result := res.Resolve(ctx, name, qtype)
+	rtt := time.Since(start)
+	tr.Root().End()
+
+	fmt.Print(result.Msg.String())
+	fmt.Printf(";; Query time: %d msec (in-process resolution, %s profile)\n",
+		rtt.Milliseconds(), res.Profile.Name)
+	printEDEs(result.Msg)
+	printDiagnosis(result.Msg)
+	fmt.Println(";; RESOLUTION TRACE:")
+	fmt.Print(tr.Render())
+}
+
+// printEDEs decodes every EDE option in resp against the IANA registry.
+func printEDEs(resp *dnswire.Message) {
 	edes := resp.EDEs()
 	if len(edes) == 0 {
 		fmt.Println(";; no Extended DNS Errors")
-	} else {
-		fmt.Println(";; EXTENDED DNS ERRORS:")
-		for _, e := range edes {
-			info, _ := ede.Lookup(ede.Code(e.InfoCode))
-			line := fmt.Sprintf(";;   %d (%s) [%s]", e.InfoCode, ede.Code(e.InfoCode).Name(), info.Category)
-			if e.ExtraText != "" {
-				line += fmt.Sprintf(": %q", e.ExtraText)
-			}
-			fmt.Println(line)
-		}
+		return
 	}
+	fmt.Println(";; EXTENDED DNS ERRORS:")
+	for _, e := range edes {
+		info, _ := ede.Lookup(ede.Code(e.InfoCode))
+		line := fmt.Sprintf(";;   %d (%s) [%s]", e.InfoCode, ede.Code(e.InfoCode).Name(), info.Category)
+		if e.ExtraText != "" {
+			line += fmt.Sprintf(": %q", e.ExtraText)
+		}
+		fmt.Println(line)
+	}
+}
 
+// printDiagnosis runs the troubleshooting engine over the response.
+func printDiagnosis(resp *dnswire.Message) {
 	d := ede.Diagnose(ede.Observe(resp))
 	fmt.Println(";; DIAGNOSIS:")
 	fmt.Printf(";;   severity:    %s\n", d.Severity)
 	fmt.Printf(";;   root cause:  %s\n", d.RootCause)
 	fmt.Printf(";;   party:       %s\n", d.Party)
 	fmt.Printf(";;   remediation: %s\n", d.Remediation)
+}
+
+// resolverProfile maps a CLI name to a vendor profile (Cloudflare default).
+func resolverProfile(name string) *resolver.Profile {
+	for _, p := range resolver.AllProfiles() {
+		if strings.Contains(strings.ToLower(p.Name), strings.ToLower(name)) {
+			return p
+		}
+	}
+	return resolver.ProfileCloudflare()
 }
 
 func parseType(s string) (dnswire.Type, bool) {

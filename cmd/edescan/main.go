@@ -29,6 +29,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/report"
 	"github.com/extended-dns-errors/edelab/internal/resolver"
 	"github.com/extended-dns-errors/edelab/internal/scan"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
 )
 
 func main() {
@@ -140,7 +141,22 @@ func main() {
 		results   []scan.Result
 		done      atomic.Int64
 	)
-	qBase, rBase := r.QueryCount.Load(), r.ResolutionCount.Load()
+	// The telemetry registry is the single snapshot source for progress: the
+	// resolver, the simulated network, and the scan's done counter register
+	// their views once, and the -progress loop reads the same series a
+	// /metrics scrape of edeserver would.
+	reg := telemetry.NewRegistry()
+	r.RegisterMetrics(reg)
+	wild.Net.RegisterMetrics(reg)
+	reg.GaugeFunc("edelab_scan_domains_done",
+		"Domains finished in the current scan.",
+		func() float64 { return float64(done.Load()) })
+	regValue := func(name string) float64 {
+		v, _ := reg.Value(name)
+		return v
+	}
+	qBase := regValue("edelab_resolver_queries_total")
+	rBase := regValue("edelab_resolver_resolutions_total")
 	stopProgress := make(chan struct{})
 	if *progress > 0 {
 		go func() {
@@ -153,14 +169,14 @@ func main() {
 				case <-stopProgress:
 					return
 				case <-tick.C:
-					d := done.Load()
-					queries := r.QueryCount.Load() - qBase
-					resolutions := r.ResolutionCount.Load() - rBase
+					d := int64(regValue("edelab_scan_domains_done"))
+					queries := regValue("edelab_resolver_queries_total") - qBase
+					resolutions := regValue("edelab_resolver_resolutions_total") - rBase
 					rate := float64(d-lastDone) / time.Since(lastT).Seconds()
 					lastDone, lastT = d, time.Now()
 					qpr := 0.0
 					if resolutions > 0 {
-						qpr = float64(queries) / float64(resolutions)
+						qpr = queries / resolutions
 					}
 					mu.Lock()
 					top := topCodes(agg, 4)

@@ -16,10 +16,25 @@
 //	edeserver -addr 127.0.0.1:5353 -mode resolver -metrics &
 //	ededig -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
 //
+// With -admin an HTTP admin plane comes up alongside the DNS socket:
+//
+//	edeserver -addr 127.0.0.1:5353 -mode resolver -admin 127.0.0.1:9970 -trace-sample 1 &
+//	curl -s 127.0.0.1:9970/metrics      # Prometheus text exposition
+//	curl -s 127.0.0.1:9970/metrics.json # same registry as JSON
+//	curl -s 127.0.0.1:9970/healthz
+//	curl -s '127.0.0.1:9970/api/trace?name=rrsig-exp-all'
+//
+// -trace-sample N records every Nth query's full resolution trace — the
+// delegation walk, cache decisions, per-server transport attempts, DNSSEC
+// verdicts, and where each EDE attached — into a bounded ring readable at
+// /api/trace. /debug/pprof/* is also served.
+//
 // With -metrics the serving counters (hits, misses, stale serves, coalesced
-// waits, per-EDE emissions, ...) are printed on SIGINT. -no-frontend
-// bypasses the serving layer and runs one full recursion per packet, the
-// pre-frontend behaviour, for comparison.
+// waits, per-EDE emissions, ...) are printed on SIGINT. This stderr dump is
+// deprecated in favour of scraping the admin plane's /metrics; it remains
+// for scripts that parse the exit-time summary. -no-frontend bypasses the
+// serving layer and runs one full recursion per packet, the pre-frontend
+// behaviour, for comparison.
 package main
 
 import (
@@ -39,6 +54,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/frontend"
 	"github.com/extended-dns-errors/edelab/internal/netsim"
 	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
 	"github.com/extended-dns-errors/edelab/internal/testbed"
 )
 
@@ -47,7 +63,10 @@ func main() {
 	mode := flag.String("mode", "auth", "auth: serve the zones authoritatively; resolver: front a validating recursive resolver with EDE")
 	profileName := flag.String("profile", "cloudflare", "vendor profile for -mode resolver")
 	noFrontend := flag.Bool("no-frontend", false, "bypass the caching frontend in -mode resolver (one recursion per packet)")
-	metrics := flag.Bool("metrics", false, "print frontend serving metrics on SIGINT")
+	metrics := flag.Bool("metrics", false, "print frontend serving metrics on SIGINT (deprecated: scrape -admin /metrics instead)")
+	admin := flag.String("admin", "", "HTTP admin plane address, e.g. 127.0.0.1:9970 (/metrics, /metrics.json, /healthz, /api/trace, /debug/pprof)")
+	traceSample := flag.Uint64("trace-sample", 0, "record every Nth query's resolution trace into the /api/trace ring (0 = off; needs -admin to read back)")
+	traceRing := flag.Int("trace-ring", 256, "capacity of the sampled-trace ring buffer")
 	cacheSize := flag.Int("cache-size", 1<<16, "frontend cache capacity in entries")
 	maxInflight := flag.Int("max-inflight", 512, "bound on concurrent upstream recursions before load shedding")
 	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "per-query upstream recursion deadline")
@@ -81,6 +100,28 @@ func main() {
 	fmt.Printf("serving the extended-dns-errors.com testbed on %s (mode %s)\n", conn.LocalAddr(), *mode)
 	fmt.Printf("zones: root, com, %s and %d test subdomains\n", testbed.ParentZone, len(tb.Cases))
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	reg := telemetry.NewRegistry()
+	tb.Net.RegisterMetrics(reg)
+	var tlog *telemetry.TraceLog
+	if *traceSample > 0 {
+		tlog = telemetry.NewTraceLog(*traceRing)
+	}
+	sampler := telemetry.NewSampler(*traceSample)
+	if *admin != "" {
+		h := telemetry.AdminHandler(reg, tlog, func() map[string]any {
+			return map[string]any{"mode": *mode, "dns_addr": conn.LocalAddr().String()}
+		})
+		adminAddr, err := telemetry.ServeAdmin(ctx, *admin, h)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edeserver: -admin: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("admin plane on http://%s (/metrics /metrics.json /healthz /api/trace /debug/pprof)\n", adminAddr)
+	}
+
 	if *mode == "resolver" {
 		prof := resolverProfile(*profileName)
 		res := tb.NewResolver(prof)
@@ -91,6 +132,7 @@ func main() {
 				Backoff:     50 * time.Millisecond,
 			}
 		}
+		res.RegisterMetrics(reg)
 		var front netsim.Handler
 		var fe *frontend.Frontend
 		if *noFrontend {
@@ -102,10 +144,10 @@ func main() {
 				QueryTimeout: *queryTimeout,
 				StaleWindow:  *staleWindow,
 			})
+			fe.RegisterMetrics(reg)
 			front = fe
 		}
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
+		front = tracedHandler(front, sampler, tlog)
 		if err := authserver.ServeUDP(ctx, conn, front); err != nil && ctx.Err() == nil {
 			fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 			os.Exit(1)
@@ -140,12 +182,31 @@ func main() {
 		return r, nil
 	})
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if err := authserver.ServeUDP(ctx, conn, front); err != nil && ctx.Err() == nil {
+	if err := authserver.ServeUDP(ctx, conn, tracedHandler(front, sampler, tlog)); err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// tracedHandler samples queries into per-resolution traces. Every Nth query
+// (per -trace-sample) gets a live trace threaded through its context — the
+// resolver and validator hang their span tree off it — and the finished
+// trace lands in the ring served at /api/trace. With sampling off the
+// handler is returned untouched, so the nil-span fast path stays in force.
+func tracedHandler(h netsim.Handler, sampler *telemetry.Sampler, tlog *telemetry.TraceLog) netsim.Handler {
+	if tlog == nil {
+		return h
+	}
+	return netsim.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		if len(q.Question) == 0 || !sampler.Sample() {
+			return h.HandleDNS(ctx, q)
+		}
+		ctx, tr := telemetry.StartTrace(ctx, fmt.Sprintf("%s %s", q.Question[0].Name, q.Question[0].Type))
+		resp, err := h.HandleDNS(ctx, q)
+		tr.Root().End()
+		tlog.Add(tr)
+		return resp, err
+	})
 }
 
 // directHandler runs one full recursion per query, bypassing the serving

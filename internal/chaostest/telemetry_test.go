@@ -1,0 +1,37 @@
+package chaostest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// TestGoldenStableUnderTracing replays the fault-free schedule with a live
+// trace in the context and requires the report to stay byte-identical to the
+// committed Table 4 golden. Tracing observes the resolution; it must never
+// perturb it — no extra queries, no reordered retries, no changed verdicts.
+func TestGoldenStableUnderTracing(t *testing.T) {
+	ctx, tr := telemetry.StartTrace(context.Background(), "chaos fault-free replay")
+	res, err := Run(ctx, chaosSeed, scheduleByName(t, "fault-free"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+
+	want, err := os.ReadFile(filepath.Join("testdata", "table4.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report(); got != string(want) {
+		t.Error("traced fault-free report differs from testdata/table4.golden — tracing perturbed the resolution")
+	}
+
+	// The trace itself must have recorded the replay's resolutions.
+	snap := tr.Snapshot()
+	if len(snap.Root.Children) == 0 {
+		t.Fatal("trace recorded no spans — the chaos runner did not thread its context through")
+	}
+}

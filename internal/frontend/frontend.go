@@ -11,6 +11,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/ede"
 	"github.com/extended-dns-errors/edelab/internal/forwarder"
 	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
 )
 
 // Config tunes the frontend. The zero value gets production-ish defaults
@@ -154,12 +155,19 @@ func (f *Frontend) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.
 
 	k := key{name: q.Question[0].Name, qtype: q.Question[0].Type, do: q.DO()}
 	now := f.cfg.Now()
+	sp := telemetry.SpanFrom(ctx)
 
 	if e, fresh, ok := f.cache.get(k, now, f.cfg.StaleWindow); ok && fresh {
 		f.metrics.hits.Add(1)
 		if e.isError {
 			f.metrics.cachedErrors.Add(1)
+			if sp != nil {
+				sp.Eventf("frontend cache: fresh error-cache hit for %s %s (rcode %s)", k.name, k.qtype, e.rcode)
+			}
 			return f.reply(q, k, &served{mode: modeCachedError, e: e}, now), nil
+		}
+		if sp != nil {
+			sp.Eventf("frontend cache: fresh hit for %s %s (stored %s ago)", k.name, k.qtype, now.Sub(e.storedAt).Round(time.Second))
 		}
 		return f.reply(q, k, &served{mode: modeFresh, e: e}, now), nil
 	}
@@ -169,14 +177,26 @@ func (f *Frontend) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.
 	sv, shared := f.flights.do(k, func() *served { return f.fetch(ctx, k) })
 	if shared {
 		f.metrics.coalesced.Add(1)
+		if sp != nil {
+			sp.Event("frontend: coalesced onto an in-flight recursion")
+		}
 	}
 	switch sv.mode {
 	case modeStale:
 		f.metrics.staleServes.Add(1)
+		if sp != nil {
+			sp.Eventf("frontend: serving stale answer for %s %s (RFC 8767)", k.name, k.qtype)
+		}
 	case modeStaleNX:
 		f.metrics.staleNXServes.Add(1)
+		if sp != nil {
+			sp.Eventf("frontend: serving stale NXDOMAIN for %s %s", k.name, k.qtype)
+		}
 	case modeCachedError:
 		f.metrics.cachedErrors.Add(1)
+		if sp != nil {
+			sp.Eventf("frontend: serving cached error for %s %s", k.name, k.qtype)
+		}
 	}
 	return f.reply(q, k, sv, now), nil
 }

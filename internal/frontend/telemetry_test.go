@@ -1,0 +1,112 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// TestRegistryMirrorsSnapshot drives the frontend through hits, misses,
+// stale serves, and failures, then checks that the registry views and the
+// pre-existing Snapshot API report the same numbers — the migration contract
+// of this PR: one source of truth, two read paths.
+func TestRegistryMirrorsSnapshot(t *testing.T) {
+	clock := newClock()
+	up := &stubUpstream{}
+	up.set(func(_ context.Context, qname dnswire.Name, _ dnswire.Type) (*dnswire.Message, error) {
+		return positive(qname, 30), nil
+	})
+	f := New(up, Config{Now: clock.Now, StaleWindow: 24 * time.Hour})
+	reg := telemetry.NewRegistry()
+	f.RegisterMetrics(reg)
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := f.HandleDNS(ctx, query("www.example.")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Expire the entry and kill the upstream: a stale serve.
+	clock.Advance(time.Hour)
+	up.set(func(context.Context, dnswire.Name, dnswire.Type) (*dnswire.Message, error) {
+		return nil, errors.New("authorities unreachable")
+	})
+	if _, err := f.HandleDNS(ctx, query("www.example.")); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := f.Metrics().Snapshot()
+	check := func(metric string, labels []telemetry.Label, want uint64) {
+		t.Helper()
+		v, ok := reg.Value(metric, labels...)
+		if !ok {
+			t.Fatalf("metric %s %v not registered", metric, labels)
+		}
+		if uint64(v) != want {
+			t.Errorf("%s %v = %v, snapshot says %d", metric, labels, v, want)
+		}
+	}
+	check("edelab_frontend_queries_total", nil, snap.Queries)
+	check("edelab_frontend_cache_events_total", []telemetry.Label{telemetry.L("event", "hit")}, snap.Hits)
+	check("edelab_frontend_cache_events_total", []telemetry.Label{telemetry.L("event", "miss")}, snap.Misses)
+	check("edelab_frontend_cache_events_total", []telemetry.Label{telemetry.L("event", "stale_serve")}, snap.StaleServes)
+	check("edelab_frontend_failures_total", []telemetry.Label{telemetry.L("event", "upstream_failure")}, snap.UpstreamFailures)
+	if snap.Queries != 4 || snap.Hits != 2 || snap.StaleServes != 1 {
+		t.Fatalf("unexpected traffic shape: %+v", snap)
+	}
+	// The stale serve attached EDE 3; the per-code view must see it.
+	check("edelab_frontend_ede_emissions_total", []telemetry.Label{telemetry.L("code", "3")}, snap.EDECounts[3])
+	if snap.EDECounts[3] == 0 {
+		t.Fatal("stale serve did not count EDE 3")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE edelab_frontend_queries_total counter",
+		`edelab_frontend_cache_events_total{event="stale_serve"} 1`,
+		"# TYPE edelab_frontend_inflight gauge",
+		"edelab_frontend_cache_entries",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTracedFrontendQuery checks the tracer rides through the frontend's
+// context into the upstream exchange, so a sampled client query traces its
+// whole recursion.
+func TestTracedFrontendQuery(t *testing.T) {
+	up := &stubUpstream{}
+	up.set(func(ctx context.Context, qname dnswire.Name, _ dnswire.Type) (*dnswire.Message, error) {
+		// Stand-in for the resolver: record a span event proving the
+		// frontend's fetch context carried the tracer through.
+		telemetry.SpanFrom(ctx).Event("upstream recursion ran with the client's tracer")
+		return positive(qname, 30), nil
+	})
+	f := New(up, Config{})
+	ctx, tr := telemetry.StartTrace(context.Background(), "traced.example. A")
+	if _, err := f.HandleDNS(ctx, query("traced.example.")); err != nil {
+		t.Fatal(err)
+	}
+	if out := tr.Render(); !strings.Contains(out, "upstream recursion ran") {
+		t.Fatalf("tracer did not propagate through the frontend:\n%s", out)
+	}
+
+	// A second, cached query must trace the frontend's own serving decision.
+	ctx2, tr2 := telemetry.StartTrace(context.Background(), "traced.example. A (warm)")
+	if _, err := f.HandleDNS(ctx2, query("traced.example.")); err != nil {
+		t.Fatal(err)
+	}
+	if out := tr2.Render(); !strings.Contains(out, "frontend cache: fresh hit") {
+		t.Fatalf("warm trace missing the frontend cache decision:\n%s", out)
+	}
+}

@@ -1,0 +1,25 @@
+package netsim
+
+import "github.com/extended-dns-errors/edelab/internal/telemetry"
+
+// RegisterMetrics publishes the network's atomic stats as scrape-time views
+// on reg — the same fields Stats() snapshots, so the simulation hot path is
+// untouched.
+func (n *Network) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("edelab_netsim_queries_total",
+		"Query datagrams attempted on the simulated network.", n.queries.Load)
+	event := func(name string, load func() uint64) {
+		reg.CounterFunc("edelab_netsim_events_total",
+			"Simulated network outcomes: deliveries, drops, and fault injections.",
+			load, telemetry.L("event", name))
+	}
+	event("answered", n.answered.Load)
+	event("unroutable", n.unroutable.Load)
+	event("unreachable", n.unreachable.Load)
+	event("lost", n.lost.Load)
+	event("handler_error", n.errors.Load)
+	event("truncated", n.truncated.Load)
+	event("garbled", n.garbled.Load)
+	event("duplicated", n.duplicated.Load)
+	event("reordered", n.reordered.Load)
+}

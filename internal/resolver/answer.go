@@ -106,6 +106,11 @@ func (st *resolution) checkAnswerRRset(set, sigs []dnswire.RR, keys []dnswire.DN
 	chk := dnssec.CheckRRset(set, sigs, keys, now, sup)
 	owner := set[0].Name
 
+	if st.cur != nil {
+		st.cur.Eventf("answer RRset %s %s: signature verdict %s (%d sigs, %d keys)",
+			owner, set[0].Type(), chk.Status, len(sigs), len(keys))
+	}
+
 	switch chk.Status {
 	case dnssec.SigOK:
 		if chk.Wildcard && !st.wildcardCovered(owner, keys, authority) {
@@ -246,6 +251,11 @@ func (st *resolution) validateDenial(resp *dnswire.Message, zoneName dnswire.Nam
 	soaSet, soaSigs := splitSection(resp.Authority, zoneName, dnswire.TypeSOA)
 	nsec3s, _ := collectNSEC3(resp.Authority)
 	nsecs := collectNSEC(resp.Authority)
+
+	if st.cur != nil {
+		st.cur.Eventf("validating denial for %s (nxdomain=%v): %d NSEC3 groups, %d NSEC groups, SOA present=%v",
+			qname, nxdomain, len(nsec3s), len(nsecs), len(soaSet) > 0)
+	}
 
 	if len(soaSet) == 0 && len(nsec3s) == 0 && len(nsecs) == 0 {
 		st.addCond(ConditionDenialBare,

@@ -1,0 +1,83 @@
+package resolver
+
+import (
+	"sync/atomic"
+
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// resolverStats are the resolver's internal event counters. They are plain
+// atomics bumped inline on the hot path — no registry dependency — and only
+// read at scrape time through the CounterFunc views RegisterMetrics installs.
+type resolverStats struct {
+	answerHits        atomic.Uint64
+	answerMisses      atomic.Uint64
+	staleServes       atomic.Uint64
+	cachedErrorServes atomic.Uint64
+	delegationHits    atomic.Uint64
+	delegationMisses  atomic.Uint64
+	retries           atomic.Uint64
+	timeouts          atomic.Uint64
+	malformed         atomic.Uint64
+	invalidResponses  atomic.Uint64
+	tcpFallbacks      atomic.Uint64
+	servfails         atomic.Uint64
+}
+
+// RegisterMetrics publishes the resolver's counters — including the
+// pre-existing QueryCount/ResolutionCount atomics and the
+// QueriesPerResolution amplification metric — as views on reg. The hot path
+// is untouched: the registry reads the atomics at scrape time. The RTT
+// histogram is the one metric with a write-side hook; it stays nil (and
+// therefore free) until a registry asks for it.
+func (r *Resolver) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("edelab_resolver_resolutions_total",
+		"Client Resolve calls.", r.ResolutionCount.Load)
+	reg.CounterFunc("edelab_resolver_queries_total",
+		"Outgoing queries to authoritative servers.", r.QueryCount.Load)
+	reg.GaugeFunc("edelab_resolver_queries_per_resolution",
+		"Average upstream queries per client resolution (query amplification).",
+		r.QueriesPerResolution)
+
+	cacheEvent := func(layer, event string, c *atomic.Uint64) {
+		reg.CounterFunc("edelab_resolver_cache_events_total",
+			"Cache outcomes by layer: answer-cache hits/misses, stale and cached-error serves, delegation-cache hits/misses.",
+			c.Load, telemetry.L("layer", layer), telemetry.L("event", event))
+	}
+	cacheEvent("answer", "hit", &r.stats.answerHits)
+	cacheEvent("answer", "miss", &r.stats.answerMisses)
+	cacheEvent("answer", "stale_serve", &r.stats.staleServes)
+	cacheEvent("answer", "error_serve", &r.stats.cachedErrorServes)
+	cacheEvent("delegation", "hit", &r.stats.delegationHits)
+	cacheEvent("delegation", "miss", &r.stats.delegationMisses)
+
+	reg.GaugeFunc("edelab_resolver_cache_entries",
+		"Live entries per cache layer.",
+		func() float64 { return float64(r.Cache.Len()) }, telemetry.L("layer", "answer"))
+	reg.GaugeFunc("edelab_resolver_cache_entries",
+		"Live entries per cache layer.",
+		func() float64 { return float64(r.Cache.DelegationLen()) }, telemetry.L("layer", "delegation"))
+
+	transportEvent := func(event string, c *atomic.Uint64) {
+		reg.CounterFunc("edelab_resolver_transport_events_total",
+			"Transport-level events: retries, timeouts, malformed datagrams, invalid responses, RFC 7766 TCP fallbacks, terminal SERVFAILs.",
+			c.Load, telemetry.L("event", event))
+	}
+	transportEvent("retry", &r.stats.retries)
+	transportEvent("timeout", &r.stats.timeouts)
+	transportEvent("malformed", &r.stats.malformed)
+	transportEvent("invalid_response", &r.stats.invalidResponses)
+	transportEvent("tcp_fallback", &r.stats.tcpFallbacks)
+	transportEvent("servfail", &r.stats.servfails)
+
+	r.rttHist.Store(reg.Histogram("edelab_resolver_rtt_seconds",
+		"Upstream exchange round-trip time.", telemetry.DefBuckets))
+}
+
+// observeRTT feeds the RTT histogram when one is registered; a single atomic
+// pointer load otherwise.
+func (r *Resolver) observeRTT(seconds float64) {
+	if h := r.rttHist.Load(); h != nil {
+		h.Observe(seconds)
+	}
+}

@@ -7,7 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
 )
 
 // TestCachedResolveAllocBudget gates the scan fast path: once a name is
@@ -31,6 +34,66 @@ func TestCachedResolveAllocBudget(t *testing.T) {
 	// question slice, the OPT record, and the Result — nothing else.
 	if allocs > 8 {
 		t.Fatalf("cached Resolve allocates %.1f/op, budget 8", allocs)
+	}
+}
+
+// TestTraceDisabledAllocParity proves the tracer's nil fast path: resolving
+// through a context that explicitly carries a nil span — the canonical
+// "tracing disabled" state — must cost exactly the same allocations as a
+// bare context. The repo-root TestTraceOverheadGate extends this with the
+// ns/op bound over the 32-worker scan bench.
+func TestTraceDisabledAllocParity(t *testing.T) {
+	w := buildWorld(t)
+	r := w.resolver(ProfileCloudflare())
+	name := dnswire.MustName("www.example.com")
+	plain := context.Background()
+	nilSpan := telemetry.WithSpan(context.Background(), nil)
+	r.Resolve(plain, name, dnswire.TypeA) // populate the cache
+
+	base := testing.AllocsPerRun(200, func() {
+		r.Resolve(plain, name, dnswire.TypeA)
+	})
+	withNil := testing.AllocsPerRun(200, func() {
+		r.Resolve(nilSpan, name, dnswire.TypeA)
+	})
+	if base > 8 {
+		t.Fatalf("cached Resolve allocates %.1f/op, budget 8", base)
+	}
+	if withNil != base {
+		t.Fatalf("disabled tracing changed the alloc profile: %.1f/op with nil span vs %.1f/op bare (must add 0)", withNil, base)
+	}
+}
+
+// TestTraceEnabledRecordsResolution sanity-checks the other side: with a live
+// trace in the context, a resolution must produce a span tree that names the
+// delegation steps. (The full Table 3 verdict assertions live in
+// internal/testbed, which can build the paper's misconfigured zones.)
+func TestTraceEnabledRecordsResolution(t *testing.T) {
+	w := buildWorld(t)
+	r := w.resolver(ProfileCloudflare())
+	name := dnswire.MustName("www.example.com")
+	ctx, tr := telemetry.StartTrace(context.Background(), "www.example.com. A")
+	res := r.Resolve(ctx, name, dnswire.TypeA)
+	if res.Msg.RCode != dnswire.RCodeNoError {
+		t.Fatalf("unexpected rcode %s", res.Msg.RCode)
+	}
+	out := tr.Render()
+	for _, want := range []string{
+		"resolve www.example.com. A",
+		"zone .",
+		"zone com.",
+		"zone example.com.",
+		"query www.example.com. A @",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// A second, cached resolution must still trace the cache decision.
+	ctx2, tr2 := telemetry.StartTrace(context.Background(), "warm")
+	r.Resolve(ctx2, name, dnswire.TypeA)
+	if out2 := tr2.Render(); !strings.Contains(out2, "answer cache: fresh hit") {
+		t.Errorf("warm trace missing cache-hit event:\n%s", out2)
 	}
 }
 

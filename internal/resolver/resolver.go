@@ -10,6 +10,7 @@ import (
 
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
 )
 
 // Resolver is a validating iterative resolver with EDE reporting.
@@ -59,6 +60,11 @@ type Resolver struct {
 	// only populates once a server reports a non-zero RTT, so on a perfect
 	// network server order is exactly the zone's NS order.
 	srtt srttTable
+
+	// stats are scrape-time counters published by RegisterMetrics; rttHist
+	// stays nil (one atomic load per exchange) until a registry installs it.
+	stats   resolverStats
+	rttHist atomic.Pointer[telemetry.Histogram]
 }
 
 // New builds a resolver with the given vantage.
@@ -132,6 +138,13 @@ type resolution struct {
 	trace     []TraceStep
 	cancelled bool
 	attempts  int // upstream attempts spent (counts against RetryBudget)
+
+	// span is this resolution's root span; cur is the innermost open span —
+	// the attach point addCond reports conditions against. Both are nil when
+	// the caller's context carries no tracer, and every use is guarded so
+	// the disabled path stays allocation-free.
+	span *telemetry.Span
+	cur  *telemetry.Span
 }
 
 func (st *resolution) traceEvent(server netip.Addr, qname dnswire.Name, qtype dnswire.Type, outcome string) {
@@ -148,6 +161,16 @@ func (st *resolution) addCond(c Condition, detail string) {
 		}
 	}
 	st.conds = append(st.conds, c)
+	// Every condition flows through here exactly once, so the trace records
+	// the precise span — delegation step, key validation, transport attempt —
+	// where each fact was established.
+	if st.cur != nil {
+		if detail != "" {
+			st.cur.Eventf("condition %s — %s", c, detail)
+		} else {
+			st.cur.Eventf("condition %s", c)
+		}
+	}
 	if detail != "" {
 		if st.details == nil {
 			st.details = make(map[Condition]string)
@@ -166,13 +189,38 @@ func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswir
 	now := r.Now()
 	r.ResolutionCount.Add(1)
 
+	// A single context lookup decides whether this resolution is traced;
+	// when the context carries no span (the scan and benchmark hot path),
+	// st.span stays nil and every tracing site below is a predicted-false
+	// branch with zero allocations.
+	if parent := telemetry.SpanFrom(ctx); parent != nil {
+		st.span = parent.Childf("resolve %s %s", qname, qtype)
+		st.cur = st.span
+		defer st.span.End()
+	}
+
 	key := cacheKey{qname, qtype}
 	if !r.DisableAnswerCache {
 		if entry, fresh, ok := r.Cache.getAnswer(key, now); ok {
 			if fresh {
+				r.stats.answerHits.Add(1)
+				if entry.rcode == dnswire.RCodeServFail {
+					r.stats.cachedErrorServes.Add(1)
+				}
+				if st.span != nil {
+					st.span.Eventf("answer cache: fresh hit (rcode %s, %d records, secure=%v)",
+						entry.rcode, len(entry.answer), entry.secure)
+				}
 				return r.finishFromCache(st, qname, qtype, entry, nil)
 			}
 			// Expired: retry live, fall back to stale below.
+			if st.span != nil {
+				st.span.Event("answer cache: expired entry (will retry live, stale fallback armed)")
+			}
+		}
+		r.stats.answerMisses.Add(1)
+		if st.span != nil {
+			st.span.Event("answer cache: miss")
 		}
 	}
 
@@ -196,6 +244,10 @@ func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswir
 				staleCond := ConditionStaleServed
 				if entry.rcode == dnswire.RCodeNXDomain {
 					staleCond = ConditionStaleNXServed
+				}
+				r.stats.staleServes.Add(1)
+				if st.span != nil {
+					st.span.Eventf("serve-stale: live resolution failed, serving expired entry (rcode %s)", entry.rcode)
 				}
 				return r.finishFromCache(st, qname, qtype, entry, []Condition{staleCond})
 			}
@@ -275,6 +327,25 @@ func (r *Resolver) finish(st *resolution, qname dnswire.Name, qtype dnswire.Type
 			text = r.extraTextFor(st, code)
 		}
 		msg.AddEDE(uint16(code), text)
+	}
+	if msg.RCode == dnswire.RCodeServFail {
+		r.stats.servfails.Add(1)
+	}
+	if st.span != nil {
+		// Close the loop for the trace reader: name the condition (and the
+		// span it was recorded under, earlier in the tree) that produced
+		// each emitted EDE option.
+		for _, code := range codes {
+			for _, c := range st.conds {
+				for _, mapped := range r.Profile.Map[c] {
+					if mapped == code {
+						st.span.Eventf("EDE %d (%s) attached ← condition %s", uint16(code), code.Name(), c)
+					}
+				}
+			}
+		}
+		st.span.Eventf("response: rcode %s, %d answers, AD=%v, %d EDE options",
+			msg.RCode, len(msg.Answer), msg.AuthenticData, len(codes))
 	}
 	out.result = Result{Msg: msg, Conditions: st.conds, Secure: secure, Details: st.details, Trace: st.trace, Cancelled: st.cancelled}
 	return &out.result
@@ -362,13 +433,41 @@ func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth
 		if cutZone, cut := r.Cache.getDelegation(qname, r.Now()); cut != nil {
 			zoneName, servers, dsForZone, chainSecure = cutZone, cut.servers, cut.ds, cut.secure
 			inherited = cut.conds
+			r.stats.delegationHits.Add(1)
+			if st.cur != nil {
+				st.cur.Eventf("delegation cache: start at cached cut %s (%d servers, secure=%v, %d replayed conditions)",
+					zoneName, len(servers), chainSecure, len(inherited))
+			}
 			for _, cr := range cut.conds {
 				st.addCond(cr.cond, cr.detail)
+			}
+		} else {
+			r.stats.delegationMisses.Add(1)
+			if st.cur != nil {
+				st.cur.Event("delegation cache: miss, starting at the root")
 			}
 		}
 	}
 
+	// Each zone visited in the walk gets its own child span; st.cur tracks
+	// the open one so transport attempts and validation verdicts nest under
+	// the zone they happened in. prevCur restores the caller's attach point
+	// when the walk ends (CNAME chases and glue sub-resolutions recurse).
+	prevCur := st.cur
+	var zoneSpan *telemetry.Span
+	if prevCur != nil {
+		defer func() {
+			zoneSpan.End()
+			st.cur = prevCur
+		}()
+	}
+
 	for {
+		if prevCur != nil {
+			zoneSpan.End()
+			zoneSpan = prevCur.Childf("zone %s (%d servers, chain secure=%v)", zoneName, len(servers), chainSecure)
+			st.cur = zoneSpan
+		}
 		st.steps++
 		if st.steps > r.MaxSteps {
 			st.addCond(ConditionIterationLimit, "iteration limit exceeded")
@@ -411,6 +510,10 @@ func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth
 						expiresAt: now.Add(ttl),
 					}, now)
 				}
+			}
+			if st.cur != nil {
+				st.cur.Eventf("referral %s → %s (%d servers, secure=%v, cacheable=%v)",
+					zoneName, child, len(next), childSecure, cacheable)
 			}
 			zoneName, servers, dsForZone, chainSecure = child, next, childDS, childSecure
 			continue
@@ -482,7 +585,16 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 		for attempt := 0; attempt < retries; attempt++ {
 			if budget > 0 && st.attempts >= budget {
 				st.traceEvent(addr, qname, qtype, "retry budget exhausted")
+				if st.cur != nil {
+					st.cur.Eventf("@%s: retry budget exhausted after %d attempts", addr, st.attempts)
+				}
 				goto totalFailure
+			}
+			if attempt > 0 {
+				r.stats.retries.Add(1)
+				if st.cur != nil {
+					st.cur.Eventf("@%s: retry %d (reason: %s)", addr, attempt, retryReason(err))
+				}
 			}
 			if st.ctx.Err() != nil {
 				st.cancelled = true
@@ -508,6 +620,10 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 			if err == nil && resp.Truncated {
 				// TC bit: the datagram answer did not fit (or the path
 				// truncates); re-ask over the stream transport.
+				r.stats.tcpFallbacks.Add(1)
+				if st.cur != nil {
+					st.cur.Eventf("@%s: truncated response, falling back to stream transport", addr)
+				}
 				q2 := dnswire.NewQuery(uint16(r.idCounter.Add(1)), qname, qtype)
 				q2.RecursionDesired = false
 				r.QueryCount.Add(1)
@@ -523,6 +639,7 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 			cancel()
 			if err == nil {
 				r.srtt.observe(addr, rtt)
+				r.observeRTT(rtt.Seconds())
 				// Sanity: the transaction ID and echoed question must
 				// match (a reordered datagram answers someone else's
 				// query); EDNS must be mirrored. A mismatch is retried on
@@ -532,9 +649,17 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 					resp.Question[0].Name != qname || resp.Question[0].Type != qtype || resp.OPT == nil {
 					sawInvalid = true
 					invalidAddr = addr
+					r.stats.invalidResponses.Add(1)
 					st.traceEvent(addr, qname, qtype, "invalid response (mismatched question or missing OPT)")
+					if st.cur != nil {
+						st.cur.Eventf("query %s %s @%s → invalid response (mismatched question or missing OPT) rtt=%s", qname, qtype, addr, rtt)
+					}
 					err = errInvalidResponse
 					continue
+				}
+				if st.cur != nil {
+					st.cur.Eventf("query %s %s @%s → %s (%d answers, %d authority, %d additional) rtt=%s",
+						qname, qtype, addr, resp.RCode, len(resp.Answer), len(resp.Authority), len(resp.Additional), rtt)
 				}
 				break
 			}
@@ -543,11 +668,19 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 				// error, not silence.
 				sawMalformed = true
 				malformedAddr = addr
+				r.stats.malformed.Add(1)
 				st.traceEvent(addr, qname, qtype, "malformed datagram")
+				if st.cur != nil {
+					st.cur.Eventf("query %s %s @%s → malformed datagram", qname, qtype, addr)
+				}
 				continue
 			}
 			sawTimeout = true
+			r.stats.timeouts.Add(1)
 			st.traceEvent(addr, qname, qtype, "timeout")
+			if st.cur != nil {
+				st.cur.Eventf("query %s %s @%s → timeout (%s)", qname, qtype, addr, timeout)
+			}
 		}
 		if sawTimeout {
 			r.srtt.penalize(addr)
@@ -618,6 +751,20 @@ totalFailure:
 // attempt loop so the same server is retried.
 var errInvalidResponse = errors.New("resolver: invalid upstream response")
 
+// retryReason names the previous attempt's failure for the trace. Only
+// called on the traced path.
+func retryReason(err error) string {
+	switch {
+	case err == nil:
+		return "unknown"
+	case errors.Is(err, errInvalidResponse):
+		return "invalid response"
+	case errors.Is(err, netsim.ErrMalformed):
+		return "malformed datagram"
+	}
+	return "timeout"
+}
+
 // serversForReferral extracts glue addresses for the child's nameservers,
 // resolving out-of-bailiwick hosts as needed.
 //
@@ -684,7 +831,12 @@ func (st *resolution) serversForReferral(resp *dnswire.Message, child dnswire.Na
 			continue
 		}
 		sub := &resolution{r: st.r, ctx: st.ctx, steps: st.steps}
+		if st.cur != nil {
+			sub.span = st.cur.Childf("sub-resolve %s A (out-of-bailiwick nameserver for %s)", host, child)
+			sub.cur = sub.span
+		}
 		ans, _, _ := sub.resolve(host, dnswire.TypeA, depth+1)
+		sub.span.End()
 		st.steps = sub.steps
 		for _, rr := range ans {
 			if a, ok := rr.Data.(dnswire.A); ok {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/extended-dns-errors/edelab/internal/dnssec"
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
 )
 
 // walkConds snapshots the conditions a root→cut walk accumulated, for
@@ -79,6 +80,10 @@ func (st *resolution) evaluateDelegation(resp *dnswire.Message, parent dnswire.N
 			st.addCond(ConditionReferralProofBogus,
 				fmt.Sprintf("DS RRset for %s failed validation: %s", child, chk.Status))
 			return nil, false
+		}
+		if st.cur != nil {
+			st.cur.Eventf("delegation %s → %s: DS RRset (%d records) validated by %s keys, chain stays secure",
+				parent, child, len(dsRRs), parent)
 		}
 		out := make([]dnswire.DS, 0, len(dsRRs))
 		for _, rr := range dsRRs {
@@ -200,6 +205,10 @@ func (st *resolution) establishKeys(zone dnswire.Name, dsSet []dnswire.DS, serve
 	r := st.r
 	now := r.Now()
 	if cached, ok := r.Cache.getKeys(zone, now); ok {
+		if st.cur != nil {
+			st.cur.Eventf("zone key cache: hit for %s (secure=%v, %d conditions replayed)",
+				zone, cached.secure, len(cached.conditions))
+		}
 		for _, c := range cached.conditions {
 			st.addCond(c, cached.detail)
 		}
@@ -207,6 +216,16 @@ func (st *resolution) establishKeys(zone dnswire.Name, dsSet []dnswire.DS, serve
 			return nil
 		}
 		return cached.keys
+	}
+
+	// The live key establishment gets its own span: the DNSKEY fetch, the
+	// DS match, and the verdict all nest under it, so the trace shows which
+	// zone's chain a validation failure belongs to.
+	prevCur := st.cur
+	var sp *telemetry.Span
+	if prevCur != nil {
+		sp = prevCur.Childf("validate DNSKEY %s (%d DS from parent)", zone, len(dsSet))
+		st.cur = sp
 	}
 
 	before := len(st.conds)
@@ -223,6 +242,20 @@ func (st *resolution) establishKeys(zone dnswire.Name, dsSet []dnswire.DS, serve
 	r.Cache.putKeys(zone, entry)
 	for _, c := range conds {
 		st.addCond(c, detail)
+	}
+	if sp != nil {
+		switch {
+		case keys != nil:
+			sp.Eventf("verdict: DNSKEY RRset at %s validated against the DS (%d keys trusted)", zone, len(keys))
+		case len(dsSet) == 0:
+			sp.Eventf("verdict: %s is insecure (no DS at the parent)", zone)
+		case detail != "":
+			sp.Eventf("verdict: no trusted keys for %s — %s", zone, detail)
+		default:
+			sp.Eventf("verdict: no trusted keys for %s", zone)
+		}
+		sp.End()
+		st.cur = prevCur
 	}
 	return keys
 }

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeAndRender(t *testing.T) {
+	ctx, tr := StartTrace(context.Background(), "example.com. A")
+	root := SpanFrom(ctx)
+	if root == nil {
+		t.Fatal("StartTrace must put the root span in the context")
+	}
+	res := root.Child("resolve example.com. A")
+	res.Event("answer cache: miss")
+	zone := res.Childf("zone %s", ".")
+	zone.Eventf("attempt 1 @%s → NOERROR rtt=%s", "198.18.0.1", "120µs")
+	zone.End()
+	res.Event("condition ds-digest-mismatch — DS 12345 digest mismatch")
+	res.End()
+
+	snap := tr.Snapshot()
+	if snap.Spans != 3 || snap.Events != 3 {
+		t.Fatalf("spans=%d events=%d, want 3/3", snap.Spans, snap.Events)
+	}
+	out := tr.Render()
+	for _, want := range []string{
+		"trace example.com. A — 3 spans, 3 events",
+		"▶ resolve example.com. A",
+		"· answer cache: miss",
+		"▶ zone .",
+		"· attempt 1 @198.18.0.1 → NOERROR rtt=120µs",
+		"· condition ds-digest-mismatch — DS 12345 digest mismatch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Events and children must interleave chronologically: the cache-miss
+	// event precedes the zone span, which precedes the condition event.
+	miss := strings.Index(out, "cache: miss")
+	zoneAt := strings.Index(out, "▶ zone")
+	cond := strings.Index(out, "condition ds-digest-mismatch")
+	if !(miss < zoneAt && zoneAt < cond) {
+		t.Errorf("render not in time order:\n%s", out)
+	}
+}
+
+func TestNilSpanIsInertAndAllocFree(t *testing.T) {
+	var s *Span
+	// None of these may panic.
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil.Child must return nil")
+	}
+	s.Childf("x %d", 1).Event("y")
+	s.Event("e")
+	s.Eventf("e %d", 2)
+	s.End()
+	var tr *Trace
+	if tr.Render() != "" || tr.Root() != nil {
+		t.Fatal("nil trace must render empty")
+	}
+
+	// The disabled fast path: plain Event/Child/End on a nil span is
+	// allocation-free. (Eventf/Childf format args may escape to the
+	// interface slice before the nil check — instrumented hot paths guard
+	// formatting behind `if sp != nil`, as the resolver does.)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := SpanFrom(context.Background())
+		sp.Event("never recorded")
+		child := sp.Child("never created")
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-span operations allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpanFromExplicitNil(t *testing.T) {
+	ctx := WithSpan(context.Background(), nil)
+	if sp := SpanFrom(ctx); sp != nil {
+		t.Fatal("WithSpan(nil) must read back as nil")
+	}
+}
+
+func TestConcurrentSpanWrites(t *testing.T) {
+	ctx, tr := StartTrace(context.Background(), "race")
+	root := SpanFrom(ctx)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := root.Childf("worker %d op %d", g, i)
+				sp.Event("did a thing")
+				sp.End()
+			}
+		}(g)
+	}
+	// Concurrent readers while writers run.
+	for i := 0; i < 20; i++ {
+		_ = tr.Render()
+		_ = tr.Snapshot()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if snap.Spans != 1+16*100 {
+		t.Fatalf("spans = %d, want %d", snap.Spans, 1+16*100)
+	}
+	if snap.Events != 16*100 {
+		t.Fatalf("events = %d, want %d", snap.Events, 16*100)
+	}
+}
+
+func TestUnendedSpanRendersWithRunningDuration(t *testing.T) {
+	_, tr := StartTrace(context.Background(), "open")
+	sp := tr.Root().Child("never ended")
+	sp.Event("still going")
+	out := tr.Render() // must not block or report garbage
+	if !strings.Contains(out, "never ended") {
+		t.Fatalf("open span missing from render:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+package testbed
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// TestTraceNamesVerdictsForTable3Cases is the tracer's acceptance check
+// against the paper's testbed: for two Table 3 misconfigurations the
+// rendered span tree must name every delegation step of the walk, the
+// DNSSEC validation verdict, the condition the validator raised, and the
+// exact EDE attach point.
+func TestTraceNamesVerdictsForTable3Cases(t *testing.T) {
+	tb, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		label string
+		want  []string
+	}{
+		{
+			// Table 3: DS digest does not match the child DNSKEY → EDE 6.
+			label: "ds-bogus-digest-value",
+			want: []string{
+				"zone .",
+				"zone com.",
+				"zone extended-dns-errors.com.",
+				"validate DNSKEY ds-bogus-digest-value.extended-dns-errors.com.",
+				"condition ds-digest-mismatch",
+				"DS digest does not match DNSKEY",
+				"EDE 6 (DNSSEC Bogus) attached ← condition ds-digest-mismatch",
+			},
+		},
+		{
+			// Table 3: every RRSIG in the zone expired → EDE 7.
+			label: "rrsig-exp-all",
+			want: []string{
+				"zone extended-dns-errors.com.",
+				"validate DNSKEY rrsig-exp-all.extended-dns-errors.com.",
+				"condition signatures-expired-zone",
+				"EDE 7 (Signature Expired) attached ← condition signatures-expired-zone",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			r := tb.NewResolver(resolver.ProfileCloudflare())
+			qname := ParentZone.Child(tc.label)
+			ctx, tr := telemetry.StartTrace(context.Background(), tc.label)
+			res := r.Resolve(ctx, qname, dnswire.TypeA)
+			tr.Root().End()
+			if res.Msg.RCode != dnswire.RCodeServFail {
+				t.Fatalf("rcode = %s, Table 3 expects SERVFAIL", res.Msg.RCode)
+			}
+			out := tr.Render()
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("trace missing %q", want)
+				}
+			}
+			if t.Failed() {
+				t.Logf("rendered trace:\n%s", out)
+			}
+		})
+	}
+}
