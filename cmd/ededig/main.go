@@ -9,6 +9,13 @@
 //	ededig -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
 //	ededig -server 127.0.0.1:5353 -type AAAA valid.extended-dns-errors.com
 //
+// Besides UDP it speaks every front-door transport edeserver exposes:
+//
+//	ededig -tcp -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
+//	ededig -tls -insecure -server 127.0.0.1:8853 rrsig-exp-all.extended-dns-errors.com
+//	ededig -doh https://127.0.0.1:8443/dns-query -insecure -doh-post valid.extended-dns-errors.com
+//	ededig -cd rrsig-exp-all.extended-dns-errors.com   # bogus data with EDEs instead of SERVFAIL
+//
 // With -trace the query skips the wire entirely: the built-in testbed is
 // constructed in-process, a validating resolver (pick one with -profile)
 // resolves the name with tracing enabled, and the full resolution trace is
@@ -22,8 +29,10 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -34,6 +43,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/resolver"
 	"github.com/extended-dns-errors/edelab/internal/telemetry"
 	"github.com/extended-dns-errors/edelab/internal/testbed"
+	"github.com/extended-dns-errors/edelab/internal/transport"
 )
 
 func main() {
@@ -41,6 +51,12 @@ func main() {
 	qtypeName := flag.String("type", "A", "query type (A, AAAA, NS, SOA, TXT, DS, DNSKEY, NSEC3PARAM)")
 	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
 	noDO := flag.Bool("cd-only", false, "clear the DO bit")
+	cd := flag.Bool("cd", false, "set the CD (checking disabled) bit: receive bogus data with its EDE diagnostics instead of SERVFAIL")
+	useTCP := flag.Bool("tcp", false, "query over TCP (RFC 7766 two-byte framing)")
+	useTLS := flag.Bool("tls", false, "query over DoT (RFC 7858); -server is host:port of the TLS listener")
+	dohURL := flag.String("doh", "", "query over DoH (RFC 8484): endpoint URL like https://127.0.0.1:8443/dns-query (overrides -server)")
+	dohPost := flag.Bool("doh-post", false, "with -doh, use the POST application/dns-message form instead of GET ?dns=")
+	insecure := flag.Bool("insecure", false, "skip TLS certificate verification for -tls/-doh (edeserver's default cert is self-signed)")
 	traceMode := flag.Bool("trace", false, "resolve in-process against the built-in testbed and render the resolution trace (ignores -server)")
 	profileName := flag.String("profile", "cloudflare", "vendor profile for -trace (cloudflare, google, quad9, ...)")
 	flag.Parse()
@@ -70,10 +86,34 @@ func main() {
 	if *noDO {
 		q.OPT.DO = false
 	}
+	q.CheckingDisabled = *cd
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	var tlsConf *tls.Config
+	if *insecure {
+		tlsConf = &tls.Config{InsecureSkipVerify: true}
+	}
+	var (
+		resp *dnswire.Message
+		via  = *server
+	)
 	start := time.Now()
-	resp, err := authserver.QueryUDP(ctx, *server, q)
+	switch {
+	case *dohURL != "":
+		client := http.DefaultClient
+		if tlsConf != nil {
+			client = &http.Client{Transport: &http.Transport{TLSClientConfig: tlsConf}}
+		}
+		resp, err = transport.QueryDoH(ctx, client, *dohURL, q, *dohPost)
+		via = *dohURL
+	case *useTLS:
+		resp, err = transport.QueryDoT(ctx, *server, tlsConf, q)
+	case *useTCP:
+		resp, err = transport.QueryTCP(ctx, *server, q)
+	default:
+		resp, err = authserver.QueryUDP(ctx, *server, q)
+	}
 	rtt := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ededig: query failed: %v\n", err)
@@ -82,9 +122,23 @@ func main() {
 
 	fmt.Print(resp.String())
 	fmt.Printf(";; Query time: %d msec\n", rtt.Milliseconds())
-	fmt.Printf(";; SERVER: %s\n", *server)
+	fmt.Printf(";; SERVER: %s (%s)\n", via, transportName(*dohURL != "", *useTLS, *useTCP))
 	printEDEs(resp)
 	printDiagnosis(resp)
+}
+
+// transportName labels the probe for the SERVER line.
+func transportName(doh, dot, tcp bool) string {
+	switch {
+	case doh:
+		return "DoH"
+	case dot:
+		return "DoT"
+	case tcp:
+		return "TCP"
+	default:
+		return "UDP"
+	}
 }
 
 // runTrace resolves the name against the in-process testbed with a live

@@ -1,6 +1,18 @@
-// Command edeserver serves the paper's testbed zones over real UDP. Point
-// any EDE-aware client (cmd/ededig, dig +ednsopt, kdig) at it to see the
-// misconfigured zones on the wire.
+// Command edeserver serves the paper's testbed zones over a real
+// multi-transport front door — UDP always, plus TCP (-tcp), DoT (-tls),
+// and DoH (-doh). Point any EDE-aware client (cmd/ededig, dig +ednsopt,
+// kdig +tls, curl --doh-url) at it to see the misconfigured zones on the
+// wire:
+//
+//	edeserver -mode resolver -tcp 127.0.0.1:5353 -tls 127.0.0.1:8853 -doh 127.0.0.1:8443 &
+//	ededig -tcp -server 127.0.0.1:5353 rrsig-exp-all.extended-dns-errors.com
+//	ededig -tls -insecure -server 127.0.0.1:8853 rrsig-exp-all.extended-dns-errors.com
+//	ededig -doh https://127.0.0.1:8443/dns-query -insecure valid.extended-dns-errors.com
+//
+// Without -tls-cert/-tls-key an ephemeral self-signed certificate is
+// generated for the TLS listeners, so clients need -insecure (or kdig's
+// equivalent). Every transport funnels into the same handler: the EDE
+// codes and EXTRA-TEXT a client sees are identical over all of them.
 //
 // It serves the root, com, extended-dns-errors.com, and all 63 subdomain
 // zones from a single socket, answering authoritatively for whichever zone
@@ -39,6 +51,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"net"
@@ -46,9 +59,9 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"github.com/extended-dns-errors/edelab/internal/authserver"
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 	"github.com/extended-dns-errors/edelab/internal/forwarder"
 	"github.com/extended-dns-errors/edelab/internal/frontend"
@@ -56,6 +69,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/resolver"
 	"github.com/extended-dns-errors/edelab/internal/telemetry"
 	"github.com/extended-dns-errors/edelab/internal/testbed"
+	"github.com/extended-dns-errors/edelab/internal/transport"
 )
 
 func main() {
@@ -75,6 +89,13 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 20230515, "seed for the fault plan; replays deterministically")
 	retries := flag.Int("retries", 0, "resolver attempts per authoritative server in -mode resolver (0 = single-shot)")
 	retryBudget := flag.Int("retry-budget", 0, "total upstream queries per resolution step in -mode resolver (0 = unlimited)")
+	tcpAddr := flag.String("tcp", "", "TCP listen address (RFC 7766 framing with pipelining; empty = disabled)")
+	tlsAddr := flag.String("tls", "", "DoT listen address (RFC 7858; empty = disabled)")
+	dohAddr := flag.String("doh", "", "DoH listen address serving HTTPS /dns-query (RFC 8484; empty = disabled)")
+	tlsCert := flag.String("tls-cert", "", "PEM certificate chain for -tls/-doh (requires -tls-key; omitted = ephemeral self-signed)")
+	tlsKey := flag.String("tls-key", "", "PEM private key for -tls/-doh")
+	maxConns := flag.Int("max-conns", transport.DefaultMaxConns, "per-listener bound on concurrent stream connections before shedding with EDE 23")
+	idleTimeout := flag.Duration("idle-timeout", transport.DefaultIdleTimeout, "stream connection idle timeout")
 	flag.Parse()
 
 	tb, err := testbed.Build()
@@ -100,7 +121,7 @@ func main() {
 	fmt.Printf("serving the extended-dns-errors.com testbed on %s (mode %s)\n", conn.LocalAddr(), *mode)
 	fmt.Printf("zones: root, com, %s and %d test subdomains\n", testbed.ParentZone, len(tb.Cases))
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	reg := telemetry.NewRegistry()
@@ -148,7 +169,11 @@ func main() {
 			front = fe
 		}
 		front = tracedHandler(front, sampler, tlog)
-		if err := authserver.ServeUDP(ctx, conn, front); err != nil && ctx.Err() == nil {
+		if err := serveFrontDoor(ctx, conn, front, reg, frontDoorOpts{
+			tcp: *tcpAddr, dot: *tlsAddr, doh: *dohAddr,
+			certFile: *tlsCert, keyFile: *tlsKey,
+			maxConns: *maxConns, idleTimeout: *idleTimeout,
+		}); err != nil && ctx.Err() == nil {
 			fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 			os.Exit(1)
 		}
@@ -182,10 +207,106 @@ func main() {
 		return r, nil
 	})
 
-	if err := authserver.ServeUDP(ctx, conn, tracedHandler(front, sampler, tlog)); err != nil && ctx.Err() == nil {
+	if err := serveFrontDoor(ctx, conn, tracedHandler(front, sampler, tlog), reg, frontDoorOpts{
+		tcp: *tcpAddr, dot: *tlsAddr, doh: *dohAddr,
+		certFile: *tlsCert, keyFile: *tlsKey,
+		maxConns: *maxConns, idleTimeout: *idleTimeout,
+	}); err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// frontDoorOpts carries the listener flags into serveFrontDoor.
+type frontDoorOpts struct {
+	tcp, dot, doh     string
+	certFile, keyFile string
+	maxConns          int
+	idleTimeout       time.Duration
+}
+
+// serveFrontDoor runs the transport front door: UDP on conn always, plus
+// whichever stream/HTTP listeners the flags enabled, all funnelled into
+// front. It blocks until ctx is cancelled (SIGINT/SIGTERM) — at which point
+// every listener drains its in-flight queries — or a listener fails.
+func serveFrontDoor(ctx context.Context, conn net.PacketConn, front netsim.Handler, reg *telemetry.Registry, opts frontDoorOpts) error {
+	srv := transport.NewServer(transport.Config{
+		Handler:     front,
+		MaxConns:    opts.maxConns,
+		IdleTimeout: opts.idleTimeout,
+		Registry:    reg,
+	})
+
+	var tlsConf *tls.Config
+	if opts.dot != "" || opts.doh != "" {
+		cert, err := frontDoorCert(opts)
+		if err != nil {
+			return err
+		}
+		tlsConf = &tls.Config{Certificates: []tls.Certificate{cert}}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, 4)
+	n := 1
+	go func() { errc <- srv.ServeUDP(ctx, conn) }()
+
+	if opts.tcp != "" {
+		l, err := net.Listen("tcp", opts.tcp)
+		if err != nil {
+			return fmt.Errorf("-tcp: %w", err)
+		}
+		fmt.Printf("TCP listener on %s\n", l.Addr())
+		n++
+		go func() { errc <- srv.ServeTCP(ctx, l) }()
+	}
+	if opts.dot != "" {
+		l, err := net.Listen("tcp", opts.dot)
+		if err != nil {
+			return fmt.Errorf("-tls: %w", err)
+		}
+		fmt.Printf("DoT listener on %s\n", l.Addr())
+		n++
+		go func() { errc <- srv.ServeDoT(ctx, l, tlsConf.Clone()) }()
+	}
+	if opts.doh != "" {
+		l, err := net.Listen("tcp", opts.doh)
+		if err != nil {
+			return fmt.Errorf("-doh: %w", err)
+		}
+		fmt.Printf("DoH endpoint on https://%s%s\n", l.Addr(), transport.DoHPath)
+		n++
+		go func() { errc <- srv.ServeDoH(ctx, l, tlsConf.Clone()) }()
+	}
+
+	// First hard failure tears the rest down; a clean ctx cancellation
+	// waits for every listener to finish draining.
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil && ctx.Err() == nil && firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	return firstErr
+}
+
+// frontDoorCert loads the -tls-cert/-tls-key pair, or mints an ephemeral
+// self-signed certificate for loopback lab use when none was given.
+func frontDoorCert(opts frontDoorOpts) (tls.Certificate, error) {
+	if opts.certFile != "" || opts.keyFile != "" {
+		if opts.certFile == "" || opts.keyFile == "" {
+			return tls.Certificate{}, fmt.Errorf("-tls-cert and -tls-key must be given together")
+		}
+		cert, err := tls.LoadX509KeyPair(opts.certFile, opts.keyFile)
+		if err != nil {
+			return tls.Certificate{}, fmt.Errorf("loading TLS key pair: %w", err)
+		}
+		return cert, nil
+	}
+	fmt.Println("no -tls-cert/-tls-key given: using an ephemeral self-signed certificate (clients need -insecure / kdig +tls-no-check)")
+	return transport.SelfSignedCert("localhost", "127.0.0.1", "::1")
 }
 
 // tracedHandler samples queries into per-resolution traces. Every Nth query

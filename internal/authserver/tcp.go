@@ -2,7 +2,6 @@ package authserver
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -18,35 +17,16 @@ import (
 // truncated, and the only transport for zone transfers (AXFR) — the channel
 // through which the paper obtained the .se/.nu/.ch/.li TLD zones (§4.1).
 
-// writeTCPMessage frames and writes one message.
+// writeTCPMessage frames and writes one message. The framing itself lives in
+// dnswire (WriteStream/ReadStream), shared with the resolver's truncation
+// fallback and the client-facing front door in internal/transport.
 func writeTCPMessage(w io.Writer, m *dnswire.Message) error {
-	wire, err := m.Pack()
-	if err != nil {
-		return err
-	}
-	if len(wire) > 0xFFFF {
-		return fmt.Errorf("authserver: message exceeds TCP frame limit (%d bytes)", len(wire))
-	}
-	var length [2]byte
-	binary.BigEndian.PutUint16(length[:], uint16(len(wire)))
-	if _, err := w.Write(length[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(wire)
-	return err
+	return m.WriteStream(w)
 }
 
 // readTCPMessage reads one framed message.
 func readTCPMessage(r io.Reader) (*dnswire.Message, error) {
-	var length [2]byte
-	if _, err := io.ReadFull(r, length[:]); err != nil {
-		return nil, err
-	}
-	buf := make([]byte, binary.BigEndian.Uint16(length[:]))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return dnswire.Unpack(buf)
+	return dnswire.ReadStream(r)
 }
 
 // ServeTCP answers framed DNS queries on l with handler h until ctx is

@@ -28,12 +28,46 @@ type Upstream interface {
 	Exchange(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error)
 }
 
+// Options carries per-query client signals an upstream may honour.
+type Options struct {
+	// CheckingDisabled is the client's CD bit: the upstream should skip
+	// withholding answers on DNSSEC validation failure (RFC 4035 §3.2.2).
+	CheckingDisabled bool
+}
+
+// OptionsUpstream is an Upstream that can honour per-query options. Callers
+// fall back to plain Exchange (validating behaviour) when the upstream does
+// not implement it, so the CD bit degrades safely to "checking enabled".
+type OptionsUpstream interface {
+	Upstream
+	ExchangeWithOptions(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, opts Options) (*dnswire.Message, error)
+}
+
 // ResolverUpstream adapts a resolver.Resolver to Upstream.
 type ResolverUpstream struct{ R *resolver.Resolver }
 
 // Exchange implements Upstream.
 func (u ResolverUpstream) Exchange(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
 	return u.R.Resolve(ctx, qname, qtype).Msg, nil
+}
+
+// ExchangeWithOptions implements OptionsUpstream, mapping the CD bit onto
+// the resolver's query options.
+func (u ResolverUpstream) ExchangeWithOptions(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, opts Options) (*dnswire.Message, error) {
+	return u.R.ResolveWithOptions(ctx, qname, qtype, resolver.QueryOptions{
+		CheckingDisabled: opts.CheckingDisabled,
+	}).Msg, nil
+}
+
+// Exchange routes one exchange through up, honouring opts when the upstream
+// supports them.
+func Exchange(ctx context.Context, up Upstream, qname dnswire.Name, qtype dnswire.Type, opts Options) (*dnswire.Message, error) {
+	if opts != (Options{}) {
+		if ou, ok := up.(OptionsUpstream); ok {
+			return ou.ExchangeWithOptions(ctx, qname, qtype, opts)
+		}
+	}
+	return up.Exchange(ctx, qname, qtype)
 }
 
 // Forwarder is a netsim.Handler proxying to an upstream.
@@ -85,7 +119,8 @@ func (f *Forwarder) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire
 
 	upctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	resp, err := f.Upstream.Exchange(upctx, question.Name, question.Type)
+	resp, err := Exchange(upctx, f.Upstream, question.Name, question.Type,
+		Options{CheckingDisabled: q.CheckingDisabled})
 	if err != nil || resp == nil {
 		r := q.Reply()
 		r.RCode = dnswire.RCodeServFail

@@ -10,11 +10,13 @@ import (
 
 // key addresses one cached message: the question tuple plus the DO bit,
 // since a DNSSEC-requesting client receives a different message (RRSIGs,
-// AD) than a plain one.
+// AD) than a plain one, and the CD bit, since a checking-disabled client
+// receives answers a validating client must never be served.
 type key struct {
 	name  dnswire.Name
 	qtype dnswire.Type
 	do    bool
+	cd    bool
 }
 
 // shard hashes the key with FNV-1a and maps it onto one of n shards
@@ -33,6 +35,10 @@ func (k key) shard(n int) int {
 	h *= prime64
 	if k.do {
 		h ^= 0xff
+		h *= prime64
+	}
+	if k.cd {
+		h ^= 0xcd
 		h *= prime64
 	}
 	return int(h & uint64(n-1))

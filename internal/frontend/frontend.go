@@ -153,7 +153,7 @@ func (f *Frontend) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.
 		return r, nil
 	}
 
-	k := key{name: q.Question[0].Name, qtype: q.Question[0].Type, do: q.DO()}
+	k := key{name: q.Question[0].Name, qtype: q.Question[0].Type, do: q.DO(), cd: q.CheckingDisabled}
 	now := f.cfg.Now()
 	sp := telemetry.SpanFrom(ctx)
 
@@ -231,7 +231,8 @@ func (f *Frontend) fetch(ctx context.Context, k key) *served {
 	f.metrics.misses.Add(1)
 
 	uctx, cancel := context.WithTimeout(ctx, f.cfg.QueryTimeout)
-	resp, err := f.upstream.Exchange(uctx, k.name, k.qtype)
+	resp, err := forwarder.Exchange(uctx, f.upstream, k.name, k.qtype,
+		forwarder.Options{CheckingDisabled: k.cd})
 	hitDeadline := errors.Is(uctx.Err(), context.DeadlineExceeded)
 	cancel()
 

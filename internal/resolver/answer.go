@@ -18,11 +18,12 @@ func (st *resolution) handleAuthoritative(resp *dnswire.Message, srv netip.Addr,
 	if signed {
 		keys = st.establishKeys(zoneName, dsForZone, []netip.Addr{srv})
 		if keys == nil {
-			if bogusAbort(st.conds) || worstClass(st.conds) == ClassLame {
+			if worstClass(st.conds) == ClassLame || st.abortOnBogus() {
 				return nil, dnswire.RCodeServFail, false
 			}
 			// Insecure outcome from the support gate (unsupported
-			// algorithms): the answer is accepted without validation.
+			// algorithms) — or a CD client riding past a bogus key set:
+			// the answer is accepted without validation.
 			signed = false
 		}
 	}
@@ -36,7 +37,7 @@ func (st *resolution) handleAuthoritative(resp *dnswire.Message, srv netip.Addr,
 		if signed {
 			set, sigs := splitSection(resp.Answer, qname, dnswire.TypeCNAME)
 			st.checkAnswerRRset(set, sigs, keys, resp.Authority)
-			if bogusAbort(st.conds) {
+			if st.abortOnBogus() {
 				return nil, dnswire.RCodeServFail, false
 			}
 		}
@@ -50,7 +51,7 @@ func (st *resolution) handleAuthoritative(resp *dnswire.Message, srv netip.Addr,
 		if signed {
 			st.validateDenial(resp, zoneName, keys, qname, true)
 		}
-		if bogusAbort(st.conds) {
+		if st.abortOnBogus() {
 			return nil, dnswire.RCodeServFail, false
 		}
 		return nil, dnswire.RCodeNXDomain, signed
@@ -61,7 +62,7 @@ func (st *resolution) handleAuthoritative(resp *dnswire.Message, srv netip.Addr,
 			if signed {
 				st.validateDenial(resp, zoneName, keys, qname, false)
 			}
-			if bogusAbort(st.conds) {
+			if st.abortOnBogus() {
 				return nil, dnswire.RCodeServFail, false
 			}
 			return nil, dnswire.RCodeNoError, signed
@@ -69,7 +70,7 @@ func (st *resolution) handleAuthoritative(resp *dnswire.Message, srv netip.Addr,
 		secure := false
 		if signed {
 			secure = st.checkAnswerRRset(set, sigs, keys, resp.Authority)
-			if bogusAbort(st.conds) {
+			if st.abortOnBogus() {
 				return nil, dnswire.RCodeServFail, false
 			}
 		}

@@ -8,10 +8,13 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 )
 
-// cacheKey addresses one cached question.
+// cacheKey addresses one cached question. The CD bit is part of the key: a
+// checking-disabled client receives validation-failure answers a validating
+// client must never see, so the two populations may not share entries.
 type cacheKey struct {
 	name  dnswire.Name
 	qtype dnswire.Type
+	cd    bool
 }
 
 // shard returns the answer-shard index for the key: FNV-1a over the name
@@ -29,6 +32,10 @@ func (k cacheKey) shard() uint64 {
 	}
 	h ^= uint64(k.qtype)
 	h *= prime64
+	if k.cd {
+		h ^= 0xff
+		h *= prime64
+	}
 	return h & (numShards - 1)
 }
 

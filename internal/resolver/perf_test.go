@@ -107,7 +107,7 @@ func TestCacheMaxEntriesHoldsUnderChurn(t *testing.T) {
 	now := time.Unix(tNow, 0)
 
 	for i := 0; i < 10000; i++ {
-		key := cacheKey{dnswire.MustName(fmt.Sprintf("churn-%d.example.com.", i)), dnswire.TypeA}
+		key := cacheKey{name: dnswire.MustName(fmt.Sprintf("churn-%d.example.com.", i)), qtype: dnswire.TypeA}
 		c.putAnswer(key, &cachedAnswer{rcode: dnswire.RCodeNoError, storedAt: now}, time.Hour)
 	}
 	// Each shard may briefly sit at its per-shard cap; the total must never
@@ -124,16 +124,16 @@ func TestCacheMaxEntriesHoldsUnderChurn(t *testing.T) {
 	c.Flush()
 	dead := time.Unix(tNow-10*86400, 0)
 	for i := 0; i < 512; i++ {
-		key := cacheKey{dnswire.MustName(fmt.Sprintf("dead-%d.example.com.", i)), dnswire.TypeA}
+		key := cacheKey{name: dnswire.MustName(fmt.Sprintf("dead-%d.example.com.", i)), qtype: dnswire.TypeA}
 		c.putAnswer(key, &cachedAnswer{storedAt: dead}, time.Minute)
 	}
 	for i := 0; i < 512; i++ {
-		key := cacheKey{dnswire.MustName(fmt.Sprintf("live-%d.example.com.", i)), dnswire.TypeA}
+		key := cacheKey{name: dnswire.MustName(fmt.Sprintf("live-%d.example.com.", i)), qtype: dnswire.TypeA}
 		c.putAnswer(key, &cachedAnswer{storedAt: now}, time.Hour)
 	}
 	live := 0
 	for i := 0; i < 512; i++ {
-		key := cacheKey{dnswire.MustName(fmt.Sprintf("live-%d.example.com.", i)), dnswire.TypeA}
+		key := cacheKey{name: dnswire.MustName(fmt.Sprintf("live-%d.example.com.", i)), qtype: dnswire.TypeA}
 		if _, fresh, ok := c.getAnswer(key, now); ok && fresh {
 			live++
 		}
@@ -158,7 +158,7 @@ func TestCacheConcurrentChurn(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				key := cacheKey{dnswire.MustName(fmt.Sprintf("g%d-%d.example.com.", g, i)), dnswire.TypeA}
+				key := cacheKey{name: dnswire.MustName(fmt.Sprintf("g%d-%d.example.com.", g, i)), qtype: dnswire.TypeA}
 				c.putAnswer(key, &cachedAnswer{storedAt: now}, time.Hour)
 				c.getAnswer(key, now)
 				if i%7 == 0 {

@@ -137,7 +137,8 @@ type resolution struct {
 	steps     int
 	trace     []TraceStep
 	cancelled bool
-	attempts  int // upstream attempts spent (counts against RetryBudget)
+	cd        bool // client set Checking Disabled (RFC 4035 §3.2.2)
+	attempts  int  // upstream attempts spent (counts against RetryBudget)
 
 	// span is this resolution's root span; cur is the innermost open span —
 	// the attach point addCond reports conditions against. Both are nil when
@@ -179,13 +180,29 @@ func (st *resolution) addCond(c Condition, detail string) {
 	}
 }
 
+// QueryOptions carries per-query client signals that alter resolution
+// behaviour. The zero value is the historical default (validating, DO set).
+type QueryOptions struct {
+	// CheckingDisabled requests RFC 4035 §3.2.2 CD-bit semantics: the
+	// resolver still walks and validates the chain — conditions are derived
+	// and EDEs attached exactly as usual — but DNSSEC validation failures no
+	// longer withhold the answer. Server-failure (lame) outcomes still
+	// SERVFAIL: CD disables checking, not reachability.
+	CheckingDisabled bool
+}
+
 // Resolve answers (qname, qtype) for a client with DO set. It never returns
 // a Go error: all failures are encoded in the response message, as a real
 // resolver would.
 func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) *Result {
+	return r.ResolveWithOptions(ctx, qname, qtype, QueryOptions{})
+}
+
+// ResolveWithOptions is Resolve with per-query client options (the CD bit).
+func (r *Resolver) ResolveWithOptions(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, opts QueryOptions) *Result {
 	// The details map is allocated lazily by addCond: most resolutions —
 	// every healthy domain in a wild scan — never record a detail string.
-	st := &resolution{r: r, ctx: ctx}
+	st := &resolution{r: r, ctx: ctx, cd: opts.CheckingDisabled}
 	now := r.Now()
 	r.ResolutionCount.Add(1)
 
@@ -199,7 +216,7 @@ func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswir
 		defer st.span.End()
 	}
 
-	key := cacheKey{qname, qtype}
+	key := cacheKey{qname, qtype, st.cd}
 	if !r.DisableAnswerCache {
 		if entry, fresh, ok := r.Cache.getAnswer(key, now); ok {
 			if fresh {
@@ -236,7 +253,10 @@ func (r *Resolver) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswir
 	if r.DisableAnswerCache {
 		return r.finish(st, qname, qtype, answer, rcode, secure)
 	}
-	if class == ClassLame || class == ClassBogus {
+	// Under CD a validation failure is not a serving failure: the answer is
+	// released to the client and cached (under the cd-keyed entry) like any
+	// positive outcome.
+	if class == ClassLame || (class == ClassBogus && !st.cd) {
 		// Serve-stale: a failed resolution can fall back to expired cache
 		// content when the profile supports RFC 8767.
 		if r.Profile.ServeStale {
@@ -311,12 +331,14 @@ func (r *Resolver) finish(st *resolution, qname dnswire.Name, qtype dnswire.Type
 		OPT:                &out.opt,
 	}
 	msg := &out.msg
+	msg.CheckingDisabled = st.cd
 	class := worstClass(st.conds)
-	switch class {
-	case ClassBogus, ClassLame:
+	if class == ClassLame || (class == ClassBogus && !st.cd) {
 		msg.RCode = dnswire.RCodeServFail
-	default:
+	} else {
 		msg.Answer = answer
+		// A CD client's bogus answer is never authentic: class stays
+		// ClassBogus, so the AD computation below yields false for it.
 		msg.AuthenticData = secure && class == ClassOK || class == ClassAdvisory && secure
 	}
 
@@ -488,7 +510,7 @@ func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth
 
 		if child, isReferral := referralChild(resp, zoneName, qname); isReferral {
 			childDS, childSecure := st.evaluateDelegation(resp, zoneName, dsForZone, chainSecure, child, servers)
-			if bogusAbort(st.conds) {
+			if st.abortOnBogus() {
 				return nil, dnswire.RCodeServFail, false
 			}
 			next, cacheable, cutTTL := st.serversForReferral(resp, child, cnameDepth)
@@ -497,7 +519,11 @@ func (st *resolution) resolve(qname dnswire.Name, qtype dnswire.Type, cnameDepth
 				st.addCond(ConditionUnreachableAllTimeout, "")
 				return nil, dnswire.RCodeServFail, false
 			}
-			if cacheable && !r.DisableDelegationCache {
+			// A CD walk continues past bogus delegations; those cuts must
+			// not seed the shared infrastructure cache, or a later
+			// validating client would inherit a cut its own walk would have
+			// rejected before caching.
+			if cacheable && !r.DisableDelegationCache && !(st.cd && bogusAbort(st.conds)) {
 				now := r.Now()
 				ttl := time.Duration(cutTTL) * time.Second
 				if ttl > maxDelegationTTL {
@@ -532,6 +558,14 @@ func bogusAbort(conds []Condition) bool {
 		}
 	}
 	return false
+}
+
+// abortOnBogus reports whether the walk must stop on a recorded bogus
+// condition: always for a validating client, never under CD — a
+// checking-disabled client wants the data regardless (RFC 4035 §3.2.2), so
+// the walk continues and the conditions ride along as EDE diagnostics.
+func (st *resolution) abortOnBogus() bool {
+	return !st.cd && bogusAbort(st.conds)
 }
 
 // referralChild decides whether resp is a referral out of zoneName and

@@ -307,7 +307,7 @@ func TestUnsupportedDetailStrings(t *testing.T) {
 
 func TestCacheLenAndFlush(t *testing.T) {
 	c := NewCache()
-	c.putAnswer(cacheKey{dnswire.MustName("a.example"), dnswire.TypeA},
+	c.putAnswer(cacheKey{name: dnswire.MustName("a.example"), qtype: dnswire.TypeA},
 		&cachedAnswer{rcode: dnswire.RCodeNoError, storedAt: time.Unix(0, 0)}, time.Hour)
 	if c.Len() != 1 {
 		t.Errorf("Len = %d", c.Len())

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// Client-side query helpers for the stream and HTTP transports, used by
+// ededig, the conformance suite, and the CI smoke job. The UDP client
+// counterpart lives in authserver.QueryUDP.
+
+// QueryTCP sends one framed query over a fresh TCP connection and reads
+// one response.
+func QueryTCP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return streamExchange(ctx, conn, q)
+}
+
+// QueryDoT sends one framed query over a fresh TLS connection. A nil
+// tlsConf verifies against the system roots; tests and self-signed labs
+// pass one with RootCAs or InsecureSkipVerify set.
+func QueryDoT(ctx context.Context, addr string, tlsConf *tls.Config, q *dnswire.Message) (*dnswire.Message, error) {
+	d := tls.Dialer{Config: tlsConf}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return streamExchange(ctx, conn, q)
+}
+
+// streamExchange performs one framed request/response on conn and closes
+// it, honouring ctx via connection deadlines.
+func streamExchange(ctx context.Context, conn net.Conn, q *dnswire.Message) (*dnswire.Message, error) {
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	if err := q.WriteStream(conn); err != nil {
+		return nil, err
+	}
+	return dnswire.ReadStream(conn)
+}
+
+// QueryDoH sends q to a DoH endpoint URL (e.g. https://host/dns-query).
+// With post it uses the POST application/dns-message form, otherwise the
+// GET base64url ?dns= form. A nil client uses http.DefaultClient.
+func QueryDoH(ctx context.Context, client *http.Client, endpoint string, q *dnswire.Message, post bool) (*dnswire.Message, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+
+	var req *http.Request
+	if post {
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(wire))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", dohContentType)
+	} else {
+		u, perr := url.Parse(endpoint)
+		if perr != nil {
+			return nil, perr
+		}
+		vals := u.Query()
+		vals.Set("dns", base64.RawURLEncoding.EncodeToString(wire))
+		u.RawQuery = vals.Encode()
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	req.Header.Set("Accept", dohContentType)
+
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, dohMaxBodySize+1))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: DoH endpoint returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != dohContentType {
+		return nil, fmt.Errorf("transport: DoH endpoint returned Content-Type %q, want %q", ct, dohContentType)
+	}
+	return dnswire.Unpack(body)
+}

@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/forwarder"
+	"github.com/extended-dns-errors/edelab/internal/frontend"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+// frontDoor is one fully wired lab server: the paper's testbed behind a
+// real resolver and caching frontend, served over all four transports on
+// loopback.
+type frontDoor struct {
+	tb      *testbed.Testbed
+	udpAddr string
+	tcpAddr string
+	dotAddr string
+	dohURL  string
+	tlsConf *tls.Config // client-side, trusting the self-signed cert
+}
+
+// startFrontDoor boots every listener and registers shutdown with t.
+func startFrontDoor(t *testing.T) *frontDoor {
+	t.Helper()
+	tb, err := testbed.Build()
+	if err != nil {
+		t.Fatalf("building testbed: %v", err)
+	}
+	r := tb.NewResolver(resolver.ProfileCloudflare())
+	fe := frontend.New(forwarder.ResolverUpstream{R: r}, frontend.Config{
+		// The testbed's frozen clock keeps TTLs from aging between the
+		// per-transport probes, so responses can be compared exactly.
+		Now: tb.Clock,
+	})
+	srv := NewServer(Config{Handler: fe})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	uconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("udp listen: %v", err)
+	}
+	tcpL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("tcp listen: %v", err)
+	}
+	dotL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("dot listen: %v", err)
+	}
+	dohL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("doh listen: %v", err)
+	}
+
+	cert, err := SelfSignedCert("127.0.0.1")
+	if err != nil {
+		t.Fatalf("generating certificate: %v", err)
+	}
+	serverTLS := &tls.Config{Certificates: []tls.Certificate{cert}}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert.Leaf)
+	clientTLS := &tls.Config{RootCAs: pool, ServerName: "127.0.0.1"}
+
+	go srv.ServeUDP(ctx, uconn)
+	go srv.ServeTCP(ctx, tcpL)
+	go srv.ServeDoT(ctx, dotL, serverTLS)
+	go srv.ServeDoH(ctx, dohL, serverTLS.Clone())
+
+	return &frontDoor{
+		tb:      tb,
+		udpAddr: uconn.LocalAddr().String(),
+		tcpAddr: tcpL.Addr().String(),
+		dotAddr: dotL.Addr().String(),
+		dohURL:  "https://" + dohL.Addr().String() + DoHPath,
+		tlsConf: clientTLS,
+	}
+}
+
+func (fd *frontDoor) dohClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{TLSClientConfig: fd.tlsConf.Clone()}}
+}
+
+// observation is the wire-visible outcome the parity invariant compares:
+// everything a troubleshooting client sees except the query ID and TTL
+// aging.
+type observation struct {
+	RCode     dnswire.RCode
+	Truncated bool
+	AD        bool
+	CD        bool
+	Answers   []string
+	EDEs      []dnswire.EDEOption
+}
+
+func observe(m *dnswire.Message) observation {
+	o := observation{
+		RCode:     m.RCode,
+		Truncated: m.Truncated,
+		AD:        m.AuthenticData,
+		CD:        m.CheckingDisabled,
+		EDEs:      m.EDEs(),
+	}
+	for _, rr := range m.Answer {
+		o.Answers = append(o.Answers, fmt.Sprintf("%s %d %s %s", rr.Name, rr.TTL, rr.Type(), rr.Data))
+	}
+	return o
+}
+
+// TestTransportParity is the headline conformance suite: every testbed
+// case, with and without the CD bit, through all four transports (DoH via
+// both the GET and POST forms), asserting the wire-visible RCODE, EDE
+// codes and EXTRA-TEXT are identical everywhere.
+func TestTransportParity(t *testing.T) {
+	fd := startFrontDoor(t)
+	client := fd.dohClient()
+	var id uint16 = 100
+
+	type probe struct {
+		name  string
+		query func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+	}
+	probes := []probe{
+		{"tcp", func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			return QueryTCP(ctx, fd.tcpAddr, q)
+		}},
+		{"dot", func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			return QueryDoT(ctx, fd.dotAddr, fd.tlsConf.Clone(), q)
+		}},
+		{"doh-get", func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			return QueryDoH(ctx, client, fd.dohURL, q, false)
+		}},
+		{"doh-post", func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			return QueryDoH(ctx, client, fd.dohURL, q, true)
+		}},
+	}
+
+	cdFlips := 0
+	for _, c := range fd.tb.Cases {
+		var noCD, withCD *observation
+		for _, cd := range []bool{false, true} {
+			name := c.Label
+			if cd {
+				name += "+cd"
+			}
+			t.Run(name, func(t *testing.T) {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+
+				mkQuery := func() *dnswire.Message {
+					id++
+					q := dnswire.NewQuery(id, c.Query, dnswire.TypeA)
+					q.CheckingDisabled = cd
+					return q
+				}
+
+				// Warm the frontend cache so every compared probe is a
+				// cache hit: the first resolution legitimately differs
+				// from later ones (the error cache appends EDE 13 on
+				// hits), and that difference is cache state, not
+				// transport behaviour.
+				if _, err := authserver.QueryUDP(ctx, fd.udpAddr, mkQuery()); err != nil {
+					t.Fatalf("warmup query: %v", err)
+				}
+
+				// UDP is the reference transport every other one must match.
+				ref, err := authserver.QueryUDP(ctx, fd.udpAddr, mkQuery())
+				if err != nil {
+					t.Fatalf("udp query: %v", err)
+				}
+				want := observe(ref)
+				if want.CD != cd {
+					t.Errorf("udp response CD = %t, want %t (RFC 1035: CD echoes the query)", want.CD, cd)
+				}
+
+				for _, p := range probes {
+					got, err := p.query(ctx, mkQuery())
+					if err != nil {
+						t.Fatalf("%s query: %v", p.name, err)
+					}
+					if o := observe(got); !reflect.DeepEqual(o, want) {
+						t.Errorf("%s disagrees with udp:\n  udp: %+v\n  %s: %+v", p.name, want, p.name, o)
+					}
+				}
+
+				o := want
+				if cd {
+					withCD = &o
+				} else {
+					noCD = &o
+				}
+			})
+			if cd && noCD != nil && withCD != nil {
+				if noCD.RCode != withCD.RCode {
+					// RFC 4035 §3.2.2: the only divergence CD may cause is
+					// serving the bogus data instead of SERVFAIL — NOERROR
+					// for answers, NXDOMAIN for unvalidatable denials — and
+					// never the other direction. The EDE diagnostics must
+					// survive the flip.
+					okFlip := noCD.RCode == dnswire.RCodeServFail &&
+						(withCD.RCode == dnswire.RCodeNoError || withCD.RCode == dnswire.RCodeNXDomain)
+					if !okFlip {
+						t.Errorf("%s: CD changed RCODE %s -> %s; only SERVFAIL -> NOERROR/NXDOMAIN is legal",
+							c.Label, noCD.RCode, withCD.RCode)
+					}
+					if len(withCD.EDEs) == 0 {
+						t.Errorf("%s: CD response dropped its EDE diagnostics", c.Label)
+					}
+					cdFlips++
+				}
+			}
+		}
+	}
+	if cdFlips == 0 {
+		t.Error("no testbed case flipped SERVFAIL -> NOERROR under CD; the bogus groups should have")
+	}
+}
+
+// TestParityObservationsNonEmpty guards the suite itself: at least one
+// case must produce EDEs at all, or the parity assertions are vacuous.
+func TestParityObservationsNonEmpty(t *testing.T) {
+	fd := startFrontDoor(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	withEDE := 0
+	for _, c := range fd.tb.Cases {
+		resp, err := QueryTCP(ctx, fd.tcpAddr, dnswire.NewQuery(7, c.Query, dnswire.TypeA))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Label, err)
+		}
+		if len(resp.EDEs()) > 0 {
+			withEDE++
+		}
+	}
+	if withEDE == 0 {
+		t.Fatal("no testbed case produced an EDE over the front door")
+	}
+}

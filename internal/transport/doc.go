@@ -1,0 +1,35 @@
+// Package transport is the client-facing multi-protocol front door: it owns
+// every listener a real resolver deployment exposes and funnels all of them
+// into one transport-agnostic serving core.
+//
+// The paper's premise is that Extended DNS Errors reach real clients — and
+// real clients at millions-of-users scale arrive over RFC 7858 DoT and
+// RFC 8484 DoH, not bare UDP. This package serves the same netsim.Handler
+// (usually internal/frontend's caching layer) over four transports:
+//
+//   - UDP (RFC 1035), with responses truncated to the client's advertised
+//     EDNS(0) buffer size — TC=1 and a minimal answer section, never an
+//     oversized datagram — while the OPT record and its EDE options survive
+//     truncation so the diagnostic reaches the client even when the data
+//     does not.
+//   - TCP (RFC 1035 §4.2.2 / RFC 7766), two-byte length framing with query
+//     pipelining and out-of-order responses: each query on a connection is
+//     handled concurrently and answered as soon as it completes.
+//   - DoT (RFC 7858): exactly the TCP stream core under crypto/tls.
+//   - DoH (RFC 8484): GET with the base64url ?dns= form and POST with
+//     application/dns-message on net/http, with Cache-Control: max-age
+//     derived from the answer TTL.
+//
+// The headline invariant, enforced by the conformance suite: for every
+// testbed case the wire-visible RCODE, EDE codes, and EXTRA-TEXT are
+// byte-identical across all four transports, including the CD-bit behaviour
+// on bogus domains.
+//
+// Load shedding reuses the frontend's semantics: when a per-connection
+// pipeline bound or a per-listener connection bound is exceeded, the excess
+// query is answered SERVFAIL with EDE 23 (Network Error) rather than queued
+// without bound. Idle and write deadlines bound connection lifetime, and
+// cancelling the serve context drains all listeners gracefully: accepting
+// stops, in-flight queries finish and their responses are written, then
+// connections close.
+package transport

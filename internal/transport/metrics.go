@@ -1,0 +1,50 @@
+package transport
+
+import "github.com/extended-dns-errors/edelab/internal/telemetry"
+
+// transports enumerates the metric label values.
+var transports = []string{TransportUDP, TransportTCP, TransportDoT, TransportDoH}
+
+// metrics holds the per-transport instrument families. The maps are
+// populated once in newMetrics and read-only afterwards, so concurrent
+// access needs no locking.
+type metrics struct {
+	queries  map[string]*telemetry.Counter
+	errors   map[string]*telemetry.Counter
+	sheds    map[string]*telemetry.Counter
+	open     map[string]*telemetry.Gauge
+	pipeline *telemetry.Histogram
+	// truncations counts UDP responses cut down to the client's EDNS
+	// buffer size (TC=1 sent instead of an oversized datagram).
+	truncations *telemetry.Counter
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &metrics{
+		queries: make(map[string]*telemetry.Counter, len(transports)),
+		errors:  make(map[string]*telemetry.Counter, len(transports)),
+		sheds:   make(map[string]*telemetry.Counter, len(transports)),
+		open:    make(map[string]*telemetry.Gauge, len(transports)),
+	}
+	for _, tr := range transports {
+		l := telemetry.L("transport", tr)
+		m.queries[tr] = reg.Counter("edelab_frontdoor_queries_total",
+			"Queries received by the front door, by transport.", l)
+		m.errors[tr] = reg.Counter("edelab_frontdoor_errors_total",
+			"Front-door failures (malformed queries, handler errors, write errors), by transport.", l)
+		m.sheds[tr] = reg.Counter("edelab_frontdoor_sheds_total",
+			"Queries shed with SERVFAIL + EDE 23 at a connection or pipeline bound, by transport.", l)
+		m.open[tr] = reg.Gauge("edelab_frontdoor_open_connections",
+			"Currently open client connections, by transport.", l)
+	}
+	m.pipeline = reg.Histogram("edelab_frontdoor_pipeline_depth",
+		"In-flight pipelined queries on a stream connection when a new query is admitted.",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128})
+	m.truncations = reg.Counter("edelab_frontdoor_truncations_total",
+		"UDP responses truncated to the client's advertised EDNS buffer size.",
+		telemetry.L("transport", TransportUDP))
+	return m
+}

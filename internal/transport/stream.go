@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// ServeTCP serves RFC 1035 §4.2.2 framed queries from l until ctx is
+// cancelled: two-byte length prefix, pipelining, out-of-order responses.
+func (s *Server) ServeTCP(ctx context.Context, l net.Listener) error {
+	return s.serveStreamListener(ctx, l, TransportTCP)
+}
+
+// ServeDoT serves DNS-over-TLS (RFC 7858): the identical stream core under
+// crypto/tls. The caller provides a base (usually TCP) listener and the
+// server's TLS configuration.
+func (s *Server) ServeDoT(ctx context.Context, l net.Listener, tlsConf *tls.Config) error {
+	return s.serveStreamListener(ctx, tls.NewListener(l, tlsConf), TransportDoT)
+}
+
+// serveStreamListener accepts connections and serves each with the shared
+// stream core. Per-listener concurrency is bounded by MaxConns: a
+// connection past the bound gets its first query answered with the shed
+// reply, then is closed. On ctx cancellation the listener closes, every
+// open connection's read deadline is expired to wake its reader, in-flight
+// queries finish and write their responses, and only then does the call
+// return.
+func (s *Server) serveStreamListener(ctx context.Context, l net.Listener, transport string) error {
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+			mu.Lock()
+			for c := range conns {
+				// A deadline in the past fails the blocked read and
+				// every future one: the serve loop exits after its
+				// in-flight queries drain.
+				c.SetReadDeadline(time.Now())
+			}
+			mu.Unlock()
+		case <-done:
+		}
+	}()
+
+	connSem := make(chan struct{}, s.cfg.MaxConns)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		select {
+		case connSem <- struct{}{}:
+		default:
+			s.m.sheds[transport].Inc()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.shedConn(conn, transport)
+			}()
+			continue
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				<-connSem
+			}()
+			s.serveStream(ctx, conn, transport)
+		}()
+	}
+}
+
+// shedConn handles a connection rejected at the MaxConns bound: read one
+// query (briefly), answer it SERVFAIL + EDE 23 so the client learns why,
+// and close.
+func (s *Server) shedConn(conn net.Conn, transport string) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	q, err := dnswire.ReadStream(conn)
+	if err != nil {
+		return
+	}
+	s.m.queries[transport].Inc()
+	shedReply(q, "server overloaded: connection limit reached").WriteStream(conn)
+}
+
+// serveStream is the transport-agnostic core: a read loop that admits each
+// framed query into a bounded per-connection pipeline and answers it from
+// its own goroutine, so responses go out in completion order, not arrival
+// order. A write mutex keeps frames whole; WriteStream's single Write call
+// means no interleaving even mid-frame.
+func (s *Server) serveStream(ctx context.Context, conn net.Conn, transport string) {
+	defer conn.Close()
+	s.m.open[transport].Add(1)
+	defer s.m.open[transport].Add(-1)
+
+	pipe := make(chan struct{}, s.cfg.MaxPipeline)
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		q, err := dnswire.ReadStream(conn)
+		if err != nil {
+			// EOF, idle timeout, and shutdown-induced deadline are the
+			// normal ends of a connection; anything else (a malformed
+			// frame, a mid-frame disconnect) counts as an error.
+			if err != io.EOF && !os.IsTimeout(err) && !errors.Is(err, net.ErrClosed) {
+				s.m.errors[transport].Inc()
+			}
+			return
+		}
+		s.m.queries[transport].Inc()
+
+		select {
+		case pipe <- struct{}{}:
+		default:
+			s.m.sheds[transport].Inc()
+			s.writeStream(conn, &wmu, transport,
+				shedReply(q, fmt.Sprintf("server overloaded: %d queries in flight on this connection", cap(pipe))))
+			continue
+		}
+		s.m.pipeline.Observe(float64(len(pipe)))
+
+		wg.Add(1)
+		go func(q *dnswire.Message) {
+			defer wg.Done()
+			defer func() { <-pipe }()
+			if resp := s.respond(ctx, transport, q); resp != nil {
+				s.writeStream(conn, &wmu, transport, resp)
+			}
+		}(q)
+	}
+}
+
+// writeStream serializes resp and writes it under the connection's write
+// mutex with a bounded deadline.
+func (s *Server) writeStream(conn net.Conn, wmu *sync.Mutex, transport string, resp *dnswire.Message) {
+	wire, err := resp.AppendStream(nil)
+	if err != nil {
+		s.m.errors[transport].Inc()
+		return
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if _, err := conn.Write(wire); err != nil {
+		s.m.errors[transport].Inc()
+	}
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"context"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// Transport labels, shared by metrics and logging.
+const (
+	TransportUDP = "udp"
+	TransportTCP = "tcp"
+	TransportDoT = "dot"
+	TransportDoH = "doh"
+)
+
+// Defaults applied by NewServer for zero Config fields.
+const (
+	DefaultMaxConns       = 1024
+	DefaultMaxPipeline    = 64
+	DefaultMaxUDPInflight = 512
+	DefaultIdleTimeout    = 30 * time.Second
+	DefaultWriteTimeout   = 5 * time.Second
+)
+
+// Config configures a front-door Server.
+type Config struct {
+	// Handler serves every query, regardless of transport.
+	Handler netsim.Handler
+
+	// MaxConns bounds concurrently served stream connections per listener.
+	// A connection accepted past the bound has its first query answered
+	// SERVFAIL + EDE 23 and is closed.
+	MaxConns int
+
+	// MaxPipeline bounds in-flight pipelined queries per stream connection.
+	// Queries read past the bound are answered SERVFAIL + EDE 23 inline.
+	MaxPipeline int
+
+	// MaxUDPInflight bounds concurrently handled UDP queries per listener;
+	// excess datagrams are answered SERVFAIL + EDE 23.
+	MaxUDPInflight int
+
+	// IdleTimeout closes a stream connection with no complete query for
+	// this long, and is the HTTP server's idle timeout for DoH.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each response write.
+	WriteTimeout time.Duration
+
+	// Registry receives the per-transport metrics; nil disables exposition
+	// (counters still work against a private registry).
+	Registry *telemetry.Registry
+}
+
+// Server serves one netsim.Handler over UDP, TCP, DoT, and DoH. All
+// Serve* methods block until their context is cancelled or the listener
+// fails, and drain in-flight queries before returning.
+type Server struct {
+	cfg Config
+	m   *metrics
+}
+
+// NewServer builds a Server, applying defaults for zero Config fields.
+func NewServer(cfg Config) *Server {
+	if cfg.Handler == nil {
+		panic("transport: Config.Handler must not be nil")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.MaxPipeline <= 0 {
+		cfg.MaxPipeline = DefaultMaxPipeline
+	}
+	if cfg.MaxUDPInflight <= 0 {
+		cfg.MaxUDPInflight = DefaultMaxUDPInflight
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	return &Server{cfg: cfg, m: newMetrics(cfg.Registry)}
+}
+
+// respond runs one query through the handler. A handler error or nil
+// response yields nil: the transport stays silent, exactly as netsim
+// models a dead server.
+func (s *Server) respond(ctx context.Context, transport string, q *dnswire.Message) *dnswire.Message {
+	resp, err := s.cfg.Handler.HandleDNS(ctx, q)
+	if err != nil || resp == nil {
+		s.m.errors[transport].Inc()
+		return nil
+	}
+	return resp
+}
+
+// shedReply is the load-shedding response: SERVFAIL with EDE 23 (Network
+// Error), matching the frontend's overload semantics so a client cannot
+// distinguish where along the path the shed happened. The EDE is attached
+// only for EDNS clients; a pre-EDNS client gets the bare SERVFAIL.
+func shedReply(q *dnswire.Message, text string) *dnswire.Message {
+	r := q.Reply()
+	r.RCode = dnswire.RCodeServFail
+	r.RecursionAvailable = true
+	if q.OPT != nil {
+		r.AddEDE(uint16(ede.CodeNetworkError), text)
+	}
+	return r
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// maxUDPPayload is the largest datagram a client could ask for (the EDNS
+// buffer size field is 16 bits).
+const maxUDPPayload = 0xFFFF
+
+// minUDPPayload is the pre-EDNS message size limit (RFC 1035 §2.3.4), the
+// floor for clients that send no OPT and for OPTs advertising less.
+const minUDPPayload = 512
+
+var udpBufPool = sync.Pool{
+	New: func() any { b := make([]byte, maxUDPPayload); return &b },
+}
+
+// ServeUDP serves queries from conn until ctx is cancelled or the
+// connection fails. Datagrams are handled concurrently up to
+// MaxUDPInflight; excess queries are shed with SERVFAIL + EDE 23.
+// Responses never exceed the client's advertised EDNS buffer size: an
+// oversized answer is sent with TC=1 and an emptied answer section
+// instead (see packUDPResponse).
+func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	sem := make(chan struct{}, s.cfg.MaxUDPInflight)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	for {
+		bufp := udpBufPool.Get().(*[]byte)
+		n, addr, err := conn.ReadFrom(*bufp)
+		if err != nil {
+			udpBufPool.Put(bufp)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		q, err := dnswire.Unpack((*bufp)[:n])
+		udpBufPool.Put(bufp)
+		if err != nil {
+			s.m.errors[TransportUDP].Inc()
+			continue
+		}
+		s.m.queries[TransportUDP].Inc()
+
+		select {
+		case sem <- struct{}{}:
+		default:
+			s.m.sheds[TransportUDP].Inc()
+			s.writeUDP(conn, addr, shedReply(q, "server overloaded: UDP inflight limit reached"), q)
+			continue
+		}
+		wg.Add(1)
+		go func(q *dnswire.Message, addr net.Addr) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if resp := s.respond(ctx, TransportUDP, q); resp != nil {
+				s.writeUDP(conn, addr, resp, q)
+			}
+		}(q, addr)
+	}
+}
+
+// writeUDP packs resp within the limit q advertises and sends it. UDPConn
+// is safe for concurrent WriteTo, so handler goroutines write directly.
+func (s *Server) writeUDP(conn net.PacketConn, addr net.Addr, resp, q *dnswire.Message) {
+	bufp := udpBufPool.Get().(*[]byte)
+	defer udpBufPool.Put(bufp)
+	wire, truncated, err := packUDPResponse(resp, clientBufSize(q), (*bufp)[:0])
+	if err != nil {
+		s.m.errors[TransportUDP].Inc()
+		return
+	}
+	if truncated {
+		s.m.truncations.Inc()
+	}
+	if _, err := conn.WriteTo(wire, addr); err != nil {
+		s.m.errors[TransportUDP].Inc()
+	}
+}
+
+// clientBufSize returns the largest UDP response q permits: 512 bytes
+// without EDNS (RFC 1035 §2.3.4), otherwise the OPT's buffer size with the
+// same 512-byte floor (RFC 6891 §6.2.3 treats smaller values as 512).
+func clientBufSize(q *dnswire.Message) int {
+	if q.OPT != nil && int(q.OPT.UDPSize) > minUDPPayload {
+		return int(q.OPT.UDPSize)
+	}
+	return minUDPPayload
+}
+
+// packUDPResponse encodes resp into at most limit bytes, appending to buf.
+// When the full message does not fit it is truncated per RFC 2181 §9:
+// TC=1 with the answer, authority, and additional sections emptied, so the
+// client retries over TCP rather than acting on partial data. The OPT and
+// its EDE options are kept — the diagnostic should survive truncation —
+// but if even the minimal message is over the limit, first the EDE
+// EXTRA-TEXT strings are dropped (the codes remain), then all EDNS options.
+func packUDPResponse(resp *dnswire.Message, limit int, buf []byte) (wire []byte, truncated bool, err error) {
+	if limit > maxUDPPayload {
+		limit = maxUDPPayload
+	}
+	wire, err = resp.AppendPack(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(wire) <= limit {
+		return wire, false, nil
+	}
+
+	trunc := *resp
+	trunc.Truncated = true
+	trunc.Answer, trunc.Authority, trunc.Additional = nil, nil, nil
+	wire, err = trunc.AppendPack(wire[:0])
+	if err != nil || len(wire) <= limit || trunc.OPT == nil {
+		return wire, true, err
+	}
+
+	opt := *trunc.OPT
+	trunc.OPT = &opt
+	slim := make([]dnswire.Option, 0, len(opt.Options))
+	for _, o := range opt.Options {
+		if e, ok := o.(dnswire.EDEOption); ok {
+			e.ExtraText = ""
+			slim = append(slim, e)
+			continue
+		}
+		slim = append(slim, o)
+	}
+	opt.Options = slim
+	wire, err = trunc.AppendPack(wire[:0])
+	if err != nil || len(wire) <= limit {
+		return wire, true, err
+	}
+
+	opt.Options = nil
+	wire, err = trunc.AppendPack(wire[:0])
+	return wire, true, err
+}
