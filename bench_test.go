@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +24,7 @@ import (
 
 	"net/netip"
 
+	"github.com/extended-dns-errors/edelab/internal/campaign"
 	"github.com/extended-dns-errors/edelab/internal/dnssec"
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 	"github.com/extended-dns-errors/edelab/internal/ede"
@@ -442,6 +444,8 @@ type benchPoint struct {
 	// PeakHeapBytes is the sampled live-heap peak during a whole-scan run
 	// (the streaming-vs-slice memory comparison).
 	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
+	// DomainsPerSec is the campaign engine's end-to-end scan rate.
+	DomainsPerSec float64 `json:"domains_per_sec,omitempty"`
 }
 
 func toPoint(r testing.BenchmarkResult) benchPoint {
@@ -564,8 +568,17 @@ func TestWriteBenchScanSnapshot(t *testing.T) {
 	}
 	if prev, err := os.ReadFile("BENCH_scan.json"); err == nil {
 		var old benchSnapshot
-		if json.Unmarshal(prev, &old) == nil && old.Baseline != nil {
-			snap.Baseline = old.Baseline
+		if json.Unmarshal(prev, &old) == nil {
+			if old.Baseline != nil {
+				snap.Baseline = old.Baseline
+			}
+			// campaign.* entries come from TestCampaignFullScaleGate's much
+			// longer run; keep them across scan-snapshot regenerations.
+			for k, v := range old.Current {
+				if strings.HasPrefix(k, "campaign.") {
+					cur[k] = v
+				}
+			}
 		}
 	}
 	if snap.Baseline == nil {
@@ -581,6 +594,83 @@ func TestWriteBenchScanSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_scan.json: %d metrics", len(cur))
+}
+
+// TestCampaignFullScaleGate is the campaign engine's 1:1-scale acceptance
+// run, gated by BENCH_CAMPAIGN=1 because it is a multi-minute measurement:
+//
+//	BENCH_CAMPAIGN=1 go test -run TestCampaignFullScaleGate -timeout 30m .
+//
+// It scans the full reference population (303,000 requested domains — the
+// repo's 1:1 scale, 1:1,000 of the paper's 303M) through a single campaign
+// shard and gates the scan-attributable peak heap: the ordered stream's
+// reorder buffer is O(workers) and the measurement pass runs the answer
+// cache read-only, so live memory must not scale with the population. The
+// measured domains/sec lands in BENCH_scan.json under campaign.Run/1to1.
+func TestCampaignFullScaleGate(t *testing.T) {
+	if os.Getenv("BENCH_CAMPAIGN") == "" {
+		t.Skip("set BENCH_CAMPAIGN=1 to run the 1:1-scale campaign measurement")
+	}
+	pop := population.Generate(population.Config{TotalDomains: population.PaperTotal / 1000, Seed: 20230515})
+	wild, err := population.Materialize(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := campaign.New(campaign.Config{
+		Workers:  32,
+		Governor: &campaign.GovernorConfig{},
+	}, wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *scan.Snapshot
+	var runErr error
+	start := time.Now()
+	peak := peakHeapDuring(func() { snap, runErr = runner.Run(context.Background()) })
+	elapsed := time.Since(start)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	total := uint64(len(pop.Domains))
+	if snap.Position != total {
+		t.Fatalf("campaign finished at %d/%d domains", snap.Position, total)
+	}
+	rate := float64(snap.Position) / elapsed.Seconds()
+	t.Logf("campaign 1:1: %d domains, %d upstream queries in %v (%.0f domains/s), peak scan heap %.1f MiB",
+		snap.Position, snap.Queries, elapsed.Round(time.Second), rate, float64(peak)/(1<<20))
+
+	// The gate separates two measured regimes at this scale: the read-only
+	// campaign pass (warmup entries + O(workers) scan state + GC garbage
+	// sampled by peakHeapDuring) peaks at ~312 MiB, while re-enabling the
+	// write-through answer cache — the canonical O(population) regression —
+	// peaks at ~432 MiB. 352 MiB gives the good regime ~13% headroom and
+	// still trips 80 MiB before the regression shape.
+	const heapGate = 352 << 20
+	if peak > heapGate {
+		t.Errorf("scan-attributable peak heap %d bytes exceeds the %d-byte gate — memory is scaling with the population", peak, heapGate)
+	}
+
+	var file benchSnapshot
+	if prev, err := os.ReadFile("BENCH_scan.json"); err == nil {
+		if err := json.Unmarshal(prev, &file); err != nil {
+			t.Fatalf("BENCH_scan.json: %v", err)
+		}
+	}
+	if file.Current == nil {
+		file.Current = map[string]benchPoint{}
+	}
+	file.Current["campaign.Run/1to1/peak-heap"] = benchPoint{
+		NsPerOp:       float64(elapsed.Nanoseconds()),
+		DomainsPerSec: rate,
+		PeakHeapBytes: peak,
+	}
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scan.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // --- ablations (DESIGN.md §5) ---

@@ -10,10 +10,17 @@
 //	edescan -domains 30300       # 1:10,000 scale
 //	edescan -figure 1 -csv       # Figure 1 data as CSV
 //	edescan -fixcurve            # §4.2 item 2 fix-top-k curve
+//
+// Campaign mode (-shards > 0) runs one shard of a sharded, checkpointed,
+// rate-limited campaign; shard snapshots merge with edereport -merge:
+//
+//	edescan -shards 4 -shard 0 -checkpoint-dir ckpt -progress 2s
+//	edescan -shards 4 -shard 0 -checkpoint-dir ckpt -resume   # after a kill
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/extended-dns-errors/edelab/internal/campaign"
 	"github.com/extended-dns-errors/edelab/internal/netsim"
 	"github.com/extended-dns-errors/edelab/internal/population"
 	"github.com/extended-dns-errors/edelab/internal/report"
@@ -49,6 +57,14 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "total upstream queries per resolution step across all servers (0 = unlimited)")
 	aggOnly := flag.Bool("agg-only", false, "stream results straight into the aggregates without materializing per-domain results (O(workers) memory; required headroom for 303M-scale runs)")
 	progress := flag.Duration("progress", 0, "print live scan progress (domains/sec, queries/resolution, aggregate EDE counts) to stderr at this interval, e.g. -progress 2s")
+	shards := flag.Int("shards", 0, "campaign mode: total shard count (0 = classic single-process scan)")
+	shard := flag.Int("shard", 0, "campaign mode: this process's 0-based shard index")
+	checkpointDir := flag.String("checkpoint-dir", "", "campaign mode: directory for shard checkpoint snapshots")
+	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Second, "campaign mode: wall time between periodic checkpoint writes")
+	resume := flag.Bool("resume", false, "campaign mode: continue from the shard's checkpoint instead of starting over")
+	maxQPS := flag.Float64("max-qps", 0, "campaign mode: global upstream queries/sec cap for this shard (0 = unlimited)")
+	authorityQPS := flag.Float64("authority-qps", 0, "campaign mode: upstream queries/sec cap per authoritative address (0 = unlimited)")
+	scale := flag.Float64("scale", 0, "population as a multiple of the 1:1 reference scale (303,000 domains); overrides -domains when > 0")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -79,6 +95,9 @@ func main() {
 		}()
 	}
 
+	if *scale > 0 {
+		*domains = int(*scale * float64(population.PaperTotal/1000))
+	}
 	fmt.Fprintf(os.Stderr, "generating population: %d domains across 1,475 TLDs (seed %d) ...\n", *domains, *seed)
 	pop := population.Generate(population.Config{TotalDomains: *domains, Seed: *seed})
 	wild, err := population.Materialize(pop)
@@ -113,6 +132,17 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "edescan: unknown profile %q\n", *profile)
 		os.Exit(2)
+	}
+
+	if *shards > 0 {
+		runCampaign(wild, campaignRun{
+			shards: *shards, shard: *shard, workers: *workers,
+			profile: prof, transport: tc,
+			checkpointDir: *checkpointDir, checkpointInterval: *checkpointInterval,
+			resume: *resume, maxQPS: *maxQPS, authorityQPS: *authorityQPS,
+			progress: *progress,
+		})
+		return
 	}
 	fmt.Fprintf(os.Stderr, "scanning %d domains with %d workers (%s profile) ...\n", len(pop.Domains), *workers, prof.Name)
 
@@ -181,8 +211,8 @@ func main() {
 					mu.Lock()
 					top := topCodes(agg, 4)
 					mu.Unlock()
-					fmt.Fprintf(os.Stderr, "progress: %d/%d domains (%.0f/s), %.2f queries/resolution, EDE %s\n",
-						d, len(pop.Domains), rate, qpr, top)
+					fmt.Fprintf(os.Stderr, "progress: %d/%d domains (%.0f/s), ETA %s, %.2f queries/resolution, EDE %s\n",
+						d, len(pop.Domains), rate, etaString(uint64(len(pop.Domains))-uint64(d), rate), qpr, top)
 				}
 			}
 		}()
@@ -274,6 +304,124 @@ func main() {
 	st := wild.Net.Stats()
 	fmt.Printf("network: %d queries (%d answered, %d unroutable, %d unreachable)\n",
 		st.Queries, st.Answered, st.Unroutable, st.Unreachable)
+}
+
+// campaignRun carries the campaign-mode flag values.
+type campaignRun struct {
+	shards, shard, workers int
+	profile                *resolver.Profile
+	transport              *resolver.TransportConfig
+	checkpointDir          string
+	checkpointInterval     time.Duration
+	resume                 bool
+	maxQPS, authorityQPS   float64
+	progress               time.Duration
+}
+
+// runCampaign executes one shard of a sharded, checkpointed, rate-limited
+// campaign and prints its §4.2 table. The persisted snapshot merges with the
+// other shards' via edereport -merge.
+func runCampaign(wild *population.Wild, cr campaignRun) {
+	cfg := campaign.Config{
+		Shards:  cr.shards,
+		Shard:   cr.shard,
+		Workers: cr.workers,
+		Profile: cr.profile, Transport: cr.transport,
+		CheckpointInterval: cr.checkpointInterval,
+		Resume:             cr.resume,
+		AuthorityQPS:       cr.authorityQPS,
+		MaxQPS:             cr.maxQPS,
+		Governor:           &campaign.GovernorConfig{},
+		Registry:           telemetry.NewRegistry(),
+	}
+	if cr.checkpointDir != "" {
+		if err := os.MkdirAll(cr.checkpointDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "edescan: -checkpoint-dir: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.CheckpointPath = campaign.CheckpointFile(cr.checkpointDir, cr.shard, cr.shards)
+	}
+	runner, err := campaign.New(cfg, wild)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edescan: %v\n", err)
+		os.Exit(2)
+	}
+	lo, hi := campaign.ShardRange(len(wild.Pop.Domains), cr.shard, cr.shards)
+	fmt.Fprintf(os.Stderr, "campaign: shard %d/%d scanning domains [%d,%d) with %d workers (%s profile)\n",
+		cr.shard, cr.shards, lo, hi, cfg.Workers, cr.profile.Name)
+	if cr.resume && cfg.CheckpointPath != "" {
+		// Peek at the checkpoint header for the operator's benefit; Run
+		// re-reads and fully validates it (and reports a missing or
+		// mismatched file properly), so decode errors are not fatal here.
+		if raw, err := os.ReadFile(cfg.CheckpointPath); err == nil {
+			if prev, err := scan.DecodeSnapshot(raw); err == nil {
+				fmt.Fprintf(os.Stderr, "campaign: resuming from checkpoint at position %d/%d (%d queries persisted)\n",
+					prev.Position, hi-lo, prev.Queries)
+			}
+		}
+	}
+
+	stopProgress := make(chan struct{})
+	if cr.progress > 0 {
+		go func() {
+			tick := time.NewTicker(cr.progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					done, total, rate := runner.Progress()
+					pct := 0.0
+					if total > 0 {
+						pct = 100 * float64(done) / float64(total)
+					}
+					conc := cfg.Workers
+					if g := runner.Governor(); g != nil {
+						conc = g.Concurrency()
+					}
+					fmt.Fprintf(os.Stderr, "progress: shard %d/%d: %d/%d domains (%.1f%%, %.0f/s), ETA %s, concurrency %d\n",
+						cr.shard, cr.shards, done, total, pct, rate, etaString(total-done, rate), conc)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	snap, err := runner.Run(context.Background())
+	elapsed := time.Since(start)
+	close(stopProgress)
+	if err != nil {
+		if errors.Is(err, campaign.ErrInterrupted) && cfg.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "edescan: campaign: %v\nresume with: edescan -shards %d -shard %d -checkpoint-dir %s -resume\n",
+				err, cr.shards, cr.shard, cr.checkpointDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "edescan: campaign: %v\n", err)
+		}
+		os.Exit(1)
+	}
+
+	fmt.Print(report.Section42Table(snap.Agg))
+	fmt.Println()
+	done, total, _ := runner.Progress()
+	fmt.Printf("campaign: shard %d/%d complete: %d/%d domains, %d upstream queries in %v (%.0f domains/s)\n",
+		cr.shard, cr.shards, done, total, snap.Queries, elapsed.Round(time.Millisecond),
+		float64(done)/elapsed.Seconds())
+	if l := runner.Limiter(); l != nil {
+		fmt.Printf("campaign: limiter admitted %d queries, %d waits\n", l.Admitted(), l.Denied())
+	}
+	if cfg.CheckpointPath != "" {
+		fmt.Printf("campaign: snapshot written to %s (merge with: edereport -merge %s/shard-*.snap)\n",
+			cfg.CheckpointPath, cr.checkpointDir)
+	}
+}
+
+// etaString formats the time left at the current rate for progress lines.
+func etaString(remaining uint64, rate float64) string {
+	if rate <= 0 {
+		return "n/a"
+	}
+	return time.Duration(float64(remaining) / rate * float64(time.Second)).Round(time.Second).String()
 }
 
 // topCodes formats the k most frequent EDE codes as "code:count ..." for the

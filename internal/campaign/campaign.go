@@ -1,0 +1,423 @@
+// Package campaign is the full-scale scan engine: it shards the streaming
+// wild scan by population range across independent runners, checkpoints each
+// shard's mergeable aggregate snapshot to disk, and governs load with
+// per-authority token buckets plus a ZDNS-style concurrency governor driven
+// by observed timeout/SERVFAIL rates.
+//
+// Every shard is an independent process over the same deterministically
+// generated population: shard i of N scans domains [len·i/N, len·(i+1)/N).
+// An interrupted shard resumes from its last checkpoint and converges to the
+// byte-identical canonical snapshot an uninterrupted run produces (the
+// per-domain outcomes are pure functions of the seeded population, and
+// checkpoints describe exact prefixes of the shard's name order).
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/population"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/scan"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// ErrCheckpointMismatch reports a resume attempt against a checkpoint that
+// was written by a different campaign shape (shard index, shard count, or a
+// position beyond this shard's range).
+var ErrCheckpointMismatch = errors.New("campaign: checkpoint does not match this shard")
+
+// ErrInterrupted reports a run that stopped before finishing its shard; the
+// returned snapshot is the consistent prefix state a resume continues from.
+var ErrInterrupted = errors.New("campaign: run interrupted")
+
+// Config shapes one shard runner.
+type Config struct {
+	// Shards is the campaign's total shard count (default 1); Shard is this
+	// runner's 0-based index.
+	Shards int
+	Shard  int
+	// Workers is the scanner concurrency (default 32).
+	Workers int
+	// Profile is the vendor EDE profile (default Cloudflare, like the
+	// paper's wild scan).
+	Profile *resolver.Profile
+	// Transport is the base upstream policy; the runner copies it before
+	// installing its admission gate, never mutating the caller's value.
+	Transport *resolver.TransportConfig
+
+	// CheckpointPath is where this shard persists its snapshot ("" disables
+	// checkpointing entirely). Writes are atomic (tmp + rename), so a kill
+	// mid-write leaves the previous checkpoint intact.
+	CheckpointPath string
+	// CheckpointEvery checkpoints after every n folded results; 0 disables
+	// the count trigger.
+	CheckpointEvery int
+	// CheckpointInterval checkpoints when this much wall time has passed
+	// since the last write; 0 disables the time trigger. A final checkpoint
+	// is always written when the run ends (complete or interrupted).
+	CheckpointInterval time.Duration
+	// Resume loads CheckpointPath (when it exists) and continues from its
+	// position instead of starting the shard over.
+	Resume bool
+
+	// AuthorityQPS/AuthorityBurst cap the sustained query rate per
+	// authoritative address; MaxQPS/MaxBurst cap the shard's global rate.
+	// Zero disables the respective bucket.
+	AuthorityQPS   float64
+	AuthorityBurst float64
+	MaxQPS         float64
+	MaxBurst       float64
+
+	// Governor enables the adaptive concurrency governor (nil leaves the
+	// scan at full worker concurrency). GovernorInterval is how often the
+	// feedback loop samples transport stats (default 250ms).
+	Governor         *GovernorConfig
+	GovernorInterval time.Duration
+
+	// Registry, when set, receives the campaign gauges (per-shard progress,
+	// domains/sec, tokens denied, governor concurrency, checkpoints).
+	Registry *telemetry.Registry
+
+	// now and sleep inject the limiter clock for deterministic tests.
+	now   func() time.Time
+	sleep func(context.Context, time.Duration) error
+	// testOnResult, when set, observes every folded position — tests use it
+	// to cancel the run at an exact, reproducible point.
+	testOnResult func(pos uint64)
+}
+
+// CheckpointFile names shard i-of-n's snapshot inside dir — the layout the
+// edescan -checkpoint-dir flag and edereport -merge agree on.
+func CheckpointFile(dir string, shard, shards int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.snap", shard, shards))
+}
+
+// ShardRange returns the half-open domain range [lo, hi) covered by shard
+// i-of-n over a population of size total: contiguous, gapless, and balanced
+// to within one domain.
+func ShardRange(total, shard, shards int) (lo, hi int) {
+	return total * shard / shards, total * (shard + 1) / shards
+}
+
+// Runner executes one shard of a campaign.
+type Runner struct {
+	cfg  Config
+	wild *population.Wild
+
+	limiter  *Limiter
+	governor *Governor
+
+	lo, hi int
+	// position is the shard-local folded-prefix length, pre-loaded with the
+	// checkpoint position on resume so progress reads monotonically.
+	position    atomic.Uint64
+	checkpoints atomic.Uint64
+	// rate bookkeeping for the domains/sec gauge.
+	measureStart atomic.Int64 // unix nanos; 0 until the measurement pass starts
+	startPos     uint64
+
+	// Scanner is the measurement scanner, populated by Run for callers that
+	// want its throughput counters.
+	Scanner *scan.Scanner
+}
+
+// New validates cfg and builds a shard runner over a materialized wild
+// network.
+func New(cfg Config, w *population.Wild) (*Runner, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("campaign: shard %d out of range [0,%d)", cfg.Shard, cfg.Shards)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 32
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = resolver.ProfileCloudflare()
+	}
+	if cfg.GovernorInterval <= 0 {
+		cfg.GovernorInterval = 250 * time.Millisecond
+	}
+	r := &Runner{cfg: cfg, wild: w}
+	r.lo, r.hi = ShardRange(len(w.Pop.Domains), cfg.Shard, cfg.Shards)
+	r.limiter = NewLimiter(LimiterConfig{
+		AuthorityQPS:   cfg.AuthorityQPS,
+		AuthorityBurst: cfg.AuthorityBurst,
+		GlobalQPS:      cfg.MaxQPS,
+		GlobalBurst:    cfg.MaxBurst,
+		Now:            cfg.now,
+		Sleep:          cfg.sleep,
+	})
+	if cfg.Governor != nil {
+		gc := *cfg.Governor
+		if gc.Max <= 0 {
+			gc.Max = cfg.Workers
+		}
+		r.governor = NewGovernor(gc)
+	}
+	r.register()
+	return r, nil
+}
+
+// register publishes the campaign gauges on the configured registry.
+func (r *Runner) register() {
+	reg := r.cfg.Registry
+	if reg == nil {
+		return
+	}
+	shard := telemetry.L("shard", strconv.Itoa(r.cfg.Shard))
+	reg.GaugeFunc("edelab_campaign_shard_domains_done",
+		"Domains folded into this shard's aggregates (monotonic across resumes).",
+		func() float64 { return float64(r.position.Load()) }, shard)
+	reg.GaugeFunc("edelab_campaign_shard_domains_total",
+		"Domains in this shard's population range.",
+		func() float64 { return float64(r.hi - r.lo) }, shard)
+	reg.GaugeFunc("edelab_campaign_domains_per_second",
+		"This shard's measurement-pass scan rate.",
+		func() float64 { done, _, rate := r.Progress(); _ = done; return rate }, shard)
+	reg.CounterFunc("edelab_campaign_checkpoints_total",
+		"Checkpoint snapshots written by this shard.",
+		r.checkpoints.Load, shard)
+	if r.limiter != nil {
+		reg.CounterFunc("edelab_campaign_tokens_denied_total",
+			"Admission attempts that found an empty token bucket and slept.",
+			r.limiter.Denied, shard)
+	}
+	if r.governor != nil {
+		reg.GaugeFunc("edelab_campaign_governor_concurrency",
+			"Concurrency capacity currently granted by the AIMD governor.",
+			func() float64 { return float64(r.governor.Concurrency()) }, shard)
+	}
+}
+
+// Progress reports the shard's folded-domain count, range size, and the
+// measurement pass's current domains/sec.
+func (r *Runner) Progress() (done, total uint64, rate float64) {
+	done = r.position.Load()
+	total = uint64(r.hi - r.lo)
+	if start := r.measureStart.Load(); start != 0 {
+		el := time.Since(time.Unix(0, start)).Seconds()
+		if el > 0 {
+			rate = float64(done-r.startPos) / el
+		}
+	}
+	return done, total, rate
+}
+
+// Governor returns the runner's governor (nil when disabled).
+func (r *Runner) Governor() *Governor { return r.governor }
+
+// Limiter returns the runner's admission limiter (nil when disabled).
+func (r *Runner) Limiter() *Limiter { return r.limiter }
+
+// loadCheckpoint reads and validates the resume snapshot; a missing file is
+// a fresh start, not an error.
+func (r *Runner) loadCheckpoint() (*scan.Snapshot, error) {
+	b, err := os.ReadFile(r.cfg.CheckpointPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	snap, err := scan.DecodeSnapshot(b)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Shard != r.cfg.Shard || snap.Shards != r.cfg.Shards {
+		return nil, fmt.Errorf("%w: snapshot is shard %d/%d, runner is %d/%d",
+			ErrCheckpointMismatch, snap.Shard, snap.Shards, r.cfg.Shard, r.cfg.Shards)
+	}
+	if snap.Position > uint64(r.hi-r.lo) {
+		return nil, fmt.Errorf("%w: position %d beyond shard size %d",
+			ErrCheckpointMismatch, snap.Position, r.hi-r.lo)
+	}
+	return snap, nil
+}
+
+// writeCheckpoint persists snap atomically next to its final path.
+func (r *Runner) writeCheckpoint(snap *scan.Snapshot) error {
+	tmp := r.cfg.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, snap.Encode(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, r.cfg.CheckpointPath); err != nil {
+		return err
+	}
+	r.checkpoints.Add(1)
+	return nil
+}
+
+// Run executes the shard: warmup, optional resume, the rate-governed
+// measurement pass with periodic checkpoints, and a final checkpoint. The
+// returned snapshot is the shard's state at exit; if ctx ended before the
+// shard finished, err wraps ErrInterrupted and the snapshot (also persisted
+// when checkpointing is enabled) is the exact prefix a resumed run continues
+// from.
+func (r *Runner) Run(ctx context.Context) (*scan.Snapshot, error) {
+	cfg := r.cfg
+	w := r.wild
+
+	var resumeFrom *scan.Snapshot
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		snap, err := r.loadCheckpoint()
+		if err != nil {
+			return nil, err
+		}
+		resumeFrom = snap
+	}
+
+	res := resolver.New(w.Net, w.Roots, w.Anchor, cfg.Profile)
+	res.Now = w.Now
+	res.Transport = cfg.Transport
+	scanner := scan.NewScanner(res)
+	scanner.Workers = cfg.Workers
+
+	// Warmup models the background client traffic that populated the
+	// production resolver's cache before the paper's scan: it runs
+	// unthrottled in every process (its determinism is what makes resumed
+	// shards reproduce serve-stale outcomes exactly).
+	if warm := w.WarmupDomains(); len(warm) > 0 {
+		scanner.Scan(ctx, warm)
+		w.AdvanceClock(2 * time.Hour)
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: during warmup: %w", ErrInterrupted, ctx.Err())
+	}
+
+	// Measurement phase: scan names are unique, so storing their answers
+	// would grow the heap linearly with the population for zero hit-rate;
+	// read-only mode keeps lookups (and serve-stale) while pinning the
+	// warmed entries. The admission gate and governor also attach here —
+	// warmup is not part of the governed scan.
+	res.AnswerCacheReadOnly = true
+	if r.limiter != nil {
+		tc := resolver.TransportConfig{}
+		if cfg.Transport != nil {
+			tc = *cfg.Transport
+		}
+		tc.Admit = r.limiter.Admit
+		res.Transport = &tc
+	}
+	if r.governor != nil {
+		scanner.Gate = r.governor
+		govDone := make(chan struct{})
+		defer close(govDone)
+		go func() {
+			tick := time.NewTicker(cfg.GovernorInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-govDone:
+					return
+				case <-tick.C:
+					st := res.TransportStats()
+					// Timeouts and upstream SERVFAILs are the pressure
+					// signal; terminal SERVFAILs are excluded because a
+					// broken-domain population keeps those permanently
+					// above any sane low-water mark.
+					r.governor.Observe(res.QueryCount.Load(), st.Timeouts+st.UpstreamServfails)
+				}
+			}
+		}()
+	}
+
+	agg := scan.NewAggregate()
+	tld := scan.NewTLDAggregate(w.Pop)
+	tranco := scan.NewTrancoAggregate(w.Pop)
+	var baseQueries, baseResolutions uint64
+	var startPos uint64
+	if resumeFrom != nil {
+		agg.Merge(resumeFrom.Agg)
+		tld.Merge(resumeFrom.TLD)
+		tranco.Merge(resumeFrom.Tranco)
+		baseQueries = resumeFrom.Queries
+		baseResolutions = resumeFrom.Resolutions
+		startPos = resumeFrom.Position
+	}
+	r.startPos = startPos
+	r.position.Store(startPos)
+	r.measureStart.Store(time.Now().UnixNano())
+
+	snap := &scan.Snapshot{
+		Shard: cfg.Shard, Shards: cfg.Shards,
+		Position: startPos,
+		Agg:      agg, TLD: tld, Tranco: tranco,
+	}
+	queriesAt := res.QueryCount.Load()
+	resolutionsAt := res.ResolutionCount.Load()
+	stamp := func() {
+		snap.Position = r.position.Load()
+		snap.Queries = baseQueries + res.QueryCount.Load() - queriesAt
+		snap.Resolutions = baseResolutions + res.ResolutionCount.Load() - resolutionsAt
+	}
+
+	src := w.Pop.NamesRange(r.lo, r.hi)
+	src.Skip(int(startPos))
+
+	var ckptErr error
+	lastCkpt := time.Now()
+	frozen := false
+	// The ordered stream guarantees sink calls arrive in source order, so
+	// after the Nth call the aggregates describe exactly names lo..lo+N of
+	// the shard — which is what makes Position meaningful. The first
+	// Skipped result marks the cancellation frontier: everything after it
+	// was either skipped or completed out of order past a gap, and folding
+	// it would double-count once the resumed run re-scans the gap.
+	scanner.ScanStreamOrdered(ctx, src, func(sr scan.Result) {
+		if frozen {
+			return
+		}
+		if sr.Skipped {
+			frozen = true
+			return
+		}
+		agg.Add(sr)
+		tld.Add(sr)
+		tranco.Add(sr)
+		pos := r.position.Add(1)
+		if cfg.testOnResult != nil {
+			cfg.testOnResult(pos)
+		}
+		if cfg.CheckpointPath == "" || ckptErr != nil {
+			return
+		}
+		due := cfg.CheckpointEvery > 0 && (pos-startPos)%uint64(cfg.CheckpointEvery) == 0
+		if !due && cfg.CheckpointInterval > 0 && time.Since(lastCkpt) >= cfg.CheckpointInterval {
+			due = true
+		}
+		if due {
+			stamp()
+			if err := r.writeCheckpoint(snap); err != nil {
+				ckptErr = err
+				return
+			}
+			lastCkpt = time.Now()
+		}
+	})
+
+	stamp()
+	if cfg.CheckpointPath != "" && ckptErr == nil {
+		ckptErr = r.writeCheckpoint(snap)
+	}
+	r.Scanner = scanner
+	if ckptErr != nil {
+		return snap, fmt.Errorf("campaign: checkpoint: %w", ckptErr)
+	}
+	if snap.Position < uint64(r.hi-r.lo) {
+		err := ctx.Err()
+		if err == nil {
+			err = errors.New("scan ended early")
+		}
+		return snap, fmt.Errorf("%w at position %d/%d: %w", ErrInterrupted, snap.Position, r.hi-r.lo, err)
+	}
+	return snap, nil
+}

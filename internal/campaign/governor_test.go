@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/scan"
+)
+
+func TestGovernorAIMD(t *testing.T) {
+	g := NewGovernor(GovernorConfig{Min: 2, Max: 32, Step: 2})
+	if g.Concurrency() != 32 {
+		t.Fatalf("initial capacity %d, want 32", g.Concurrency())
+	}
+	// 50% failures → halve, repeatedly, floored at min.
+	var attempts, failures uint64
+	for i, want := range []int{16, 8, 4, 2, 2} {
+		attempts += 100
+		failures += 50
+		if _, cap := g.Observe(attempts, failures); cap != want {
+			t.Fatalf("decrease step %d: capacity %d, want %d", i, cap, want)
+		}
+	}
+	// Clean windows → additive recovery by Step.
+	for i, want := range []int{4, 6, 8} {
+		attempts += 100
+		if _, cap := g.Observe(attempts, failures); cap != want {
+			t.Fatalf("increase step %d: capacity %d, want %d", i, cap, want)
+		}
+	}
+	// A window with no attempts must not adjust anything.
+	if _, cap := g.Observe(attempts, failures); cap != 8 {
+		t.Fatalf("empty window moved capacity to %d", cap)
+	}
+	// Mid-band failure rate (between low and high water) holds steady.
+	attempts += 100
+	failures += 10
+	if _, cap := g.Observe(attempts, failures); cap != 8 {
+		t.Fatalf("mid-band window moved capacity to %d", cap)
+	}
+}
+
+func TestGovernorGateBlocksAtCapacity(t *testing.T) {
+	g := NewGovernor(GovernorConfig{Min: 1, Max: 2})
+	ctx := context.Background()
+	g.Acquire(ctx)
+	g.Acquire(ctx)
+
+	acquired := make(chan struct{})
+	go func() {
+		g.Acquire(ctx)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("third Acquire succeeded at capacity 2")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.Release()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake after Release")
+	}
+
+	// A cancelled context unblocks a waiter even with no capacity.
+	cctx, cancel := context.WithCancel(context.Background())
+	unblocked := make(chan struct{})
+	go func() {
+		g.Acquire(cctx)
+		close(unblocked)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-unblocked:
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not unblock on context cancellation")
+	}
+}
+
+// TestGovernorBacksOffUnderFaultsAndRecovers runs the governor against the
+// real resolver over netsim: an injected loss schedule must drive the
+// capacity down, and clearing the faults must let the additive increase
+// restore full concurrency.
+func TestGovernorBacksOffUnderFaultsAndRecovers(t *testing.T) {
+	w := buildWild(t, 3030)
+	res := resolver.New(w.Net, w.Roots, w.Anchor, resolver.ProfileCloudflare())
+	res.Now = w.Now
+	gov := NewGovernor(GovernorConfig{Min: 2, Max: 32, Step: 8})
+	s := scan.NewScanner(res)
+	s.Workers = 16
+	s.Gate = gov
+
+	names := w.Pop.Domains
+	observe := func() int {
+		st := res.TransportStats()
+		_, capacity := gov.Observe(res.QueryCount.Load(), st.Timeouts+st.UpstreamServfails)
+		return capacity
+	}
+	lo := 0
+	scanChunk := func(n int) {
+		hi := lo + n
+		if hi > len(names) {
+			hi = len(names)
+		}
+		batch := make([]dnswire.Name, 0, hi-lo)
+		for _, d := range names[lo:hi] {
+			batch = append(batch, d.Name)
+		}
+		lo = hi
+		s.Scan(context.Background(), batch)
+	}
+
+	// Phase 1: heavy loss. Every resolution times out repeatedly, so the
+	// failure window crosses the high-water mark and capacity halves.
+	fp, err := netsim.ParseFaultProfile("loss=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Net.SetFaults(netsim.NewFaultPlan(7, fp))
+	scanChunk(200)
+	cap1 := observe()
+	if cap1 >= 32 {
+		t.Fatalf("capacity %d did not back off under 90%% loss", cap1)
+	}
+	scanChunk(200)
+	cap2 := observe()
+	if cap2 > cap1 {
+		t.Fatalf("capacity rose from %d to %d while faults persist", cap1, cap2)
+	}
+
+	// Phase 2: faults clear; clean windows recover capacity to max.
+	w.Net.SetFaults(nil)
+	for i := 0; i < 10 && gov.Concurrency() < 32; i++ {
+		scanChunk(100)
+		observe()
+	}
+	if got := gov.Concurrency(); got != 32 {
+		t.Fatalf("capacity %d did not recover to 32 after faults cleared", got)
+	}
+}

@@ -1,0 +1,233 @@
+package campaign
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LimiterConfig tunes the campaign's admission policy. A zero field disables
+// that layer: AuthorityQPS 0 means no per-authority politeness, GlobalQPS 0
+// means no global cap. With both zero NewLimiter returns nil, which the
+// resolver treats as "no admission gate".
+type LimiterConfig struct {
+	// AuthorityQPS caps the sustained query rate against any single
+	// authoritative address; AuthorityBurst is the bucket depth (default:
+	// max(1, AuthorityQPS)).
+	AuthorityQPS   float64
+	AuthorityBurst float64
+	// GlobalQPS caps the shard's total outgoing query rate — the ZDNS-style
+	// campaign-wide governor knob; GlobalBurst defaults like AuthorityBurst.
+	GlobalQPS   float64
+	GlobalBurst float64
+	// Now and Sleep inject the clock so netsim tests prove the cap
+	// deterministically on virtual time. Nil means the real clock and a
+	// context-aware real sleep.
+	Now   func() time.Time
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Limiter enforces per-authority and global token buckets at the resolver's
+// admission point (resolver.TransportConfig.Admit). Each bucket refills
+// continuously at its rate up to its burst; an attempt needs one token from
+// the authority's bucket AND one from the global bucket, taken atomically so
+// a denied attempt never leaks a token from the other bucket.
+type Limiter struct {
+	cfg    LimiterConfig
+	global *bucket
+	shards [16]limiterShard
+	// denied counts admission attempts that found an empty bucket and had
+	// to sleep (the campaign's edelab_campaign_tokens_denied_total gauge);
+	// admitted counts successful admissions.
+	denied   atomic.Uint64
+	admitted atomic.Uint64
+}
+
+type limiterShard struct {
+	mu sync.Mutex
+	m  map[netip.Addr]*bucket
+}
+
+// bucket is one token bucket; all fields are guarded by mu.
+type bucket struct {
+	mu       sync.Mutex
+	rate     float64
+	burst    float64
+	tokens   float64
+	last     time.Time
+	admitted uint64
+}
+
+// refill credits tokens for the time elapsed since the last refill. A fresh
+// bucket starts full.
+func (b *bucket) refill(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		b.tokens = b.burst
+		return
+	}
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// deficit returns how long until the bucket holds one token (0 = ready now).
+func (b *bucket) deficit() time.Duration {
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// NewLimiter builds a limiter, or returns nil when cfg enables nothing.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.AuthorityQPS <= 0 && cfg.GlobalQPS <= 0 {
+		return nil
+	}
+	if cfg.AuthorityBurst <= 0 {
+		cfg.AuthorityBurst = max(1, cfg.AuthorityQPS)
+	}
+	if cfg.GlobalBurst <= 0 {
+		cfg.GlobalBurst = max(1, cfg.GlobalQPS)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = realSleep
+	}
+	l := &Limiter{cfg: cfg}
+	if cfg.GlobalQPS > 0 {
+		l.global = &bucket{rate: cfg.GlobalQPS, burst: cfg.GlobalBurst}
+	}
+	for i := range l.shards {
+		l.shards[i].m = make(map[netip.Addr]*bucket)
+	}
+	return l
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// bucketFor returns (creating on first use) the authority's bucket, or nil
+// when per-authority limiting is disabled.
+func (l *Limiter) bucketFor(addr netip.Addr) *bucket {
+	if l.cfg.AuthorityQPS <= 0 {
+		return nil
+	}
+	sh := &l.shards[shardIndex(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.m[addr]
+	if !ok {
+		b = &bucket{rate: l.cfg.AuthorityQPS, burst: l.cfg.AuthorityBurst}
+		sh.m[addr] = b
+	}
+	return b
+}
+
+func shardIndex(addr netip.Addr) int {
+	b := addr.As16()
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return int(h % 16)
+}
+
+// Admit blocks until both buckets release a token for one query attempt
+// against addr, or ctx ends. It satisfies resolver.TransportConfig.Admit.
+func (l *Limiter) Admit(ctx context.Context, addr netip.Addr) error {
+	ab := l.bucketFor(addr)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		wait := l.reserve(ab)
+		if wait == 0 {
+			l.admitted.Add(1)
+			return nil
+		}
+		l.denied.Add(1)
+		if err := l.cfg.Sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// reserve takes one token from each enabled bucket if both have one,
+// returning 0; otherwise it consumes nothing and returns how long until the
+// emptier bucket is ready. Both buckets are held locked together (authority
+// first, then global — a fixed order, so no deadlock) to keep the
+// take-from-both atomic.
+func (l *Limiter) reserve(ab *bucket) time.Duration {
+	now := l.cfg.Now()
+	if ab != nil {
+		ab.mu.Lock()
+		defer ab.mu.Unlock()
+		ab.refill(now)
+	}
+	if l.global != nil {
+		l.global.mu.Lock()
+		defer l.global.mu.Unlock()
+		l.global.refill(now)
+	}
+	var wait time.Duration
+	if ab != nil {
+		wait = ab.deficit()
+	}
+	if l.global != nil {
+		if d := l.global.deficit(); d > wait {
+			wait = d
+		}
+	}
+	if wait > 0 {
+		return wait
+	}
+	if ab != nil {
+		ab.tokens--
+		ab.admitted++
+	}
+	if l.global != nil {
+		l.global.tokens--
+	}
+	return 0
+}
+
+// Denied returns how many admission attempts had to wait for tokens.
+func (l *Limiter) Denied() uint64 { return l.denied.Load() }
+
+// Admitted returns how many attempts were admitted in total.
+func (l *Limiter) Admitted() uint64 { return l.admitted.Load() }
+
+// AdmittedTo returns how many attempts were admitted against one authority —
+// the per-endpoint count the qps-cap proof asserts on.
+func (l *Limiter) AdmittedTo(addr netip.Addr) uint64 {
+	if l.cfg.AuthorityQPS <= 0 {
+		return 0
+	}
+	sh := &l.shards[shardIndex(addr)]
+	sh.mu.Lock()
+	b, ok := sh.m[addr]
+	sh.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.admitted
+}

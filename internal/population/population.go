@@ -260,8 +260,36 @@ func (it *NameIter) Next() (dnswire.Name, bool) {
 // Len reports how many names remain.
 func (it *NameIter) Len() int { return len(it.domains) - it.i }
 
+// Skip advances past the next n names (or to the end if fewer remain): a
+// resumed campaign shard skips the prefix its checkpoint already folded.
+func (it *NameIter) Skip(n int) {
+	if n < 0 {
+		n = 0
+	}
+	it.i += n
+	if it.i > len(it.domains) {
+		it.i = len(it.domains)
+	}
+}
+
 // Names returns a fresh iterator over the population's domains.
 func (p *Population) Names() *NameIter { return &NameIter{domains: p.Domains} }
+
+// NamesRange returns a fresh iterator over domains[lo:hi) in generation
+// order — one campaign shard's slice of the population. Bounds are clamped
+// to the domain list.
+func (p *Population) NamesRange(lo, hi int) *NameIter {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.Domains) {
+		hi = len(p.Domains)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &NameIter{domains: p.Domains[lo:hi]}
+}
 
 // ClassQuota returns the scaled target count for class c: round(paper×scale)
 // floored at 1 for classes the paper observed at all.

@@ -22,6 +22,7 @@ type resolverStats struct {
 	invalidResponses  atomic.Uint64
 	tcpFallbacks      atomic.Uint64
 	servfails         atomic.Uint64
+	upstreamServfails atomic.Uint64
 }
 
 // RegisterMetrics publishes the resolver's counters — including the
@@ -69,9 +70,43 @@ func (r *Resolver) RegisterMetrics(reg *telemetry.Registry) {
 	transportEvent("invalid_response", &r.stats.invalidResponses)
 	transportEvent("tcp_fallback", &r.stats.tcpFallbacks)
 	transportEvent("servfail", &r.stats.servfails)
+	transportEvent("upstream_servfail", &r.stats.upstreamServfails)
 
 	r.rttHist.Store(reg.Histogram("edelab_resolver_rtt_seconds",
 		"Upstream exchange round-trip time.", telemetry.DefBuckets))
+}
+
+// TransportStats is a point-in-time snapshot of the resolver's cumulative
+// transport-event counters. The campaign governor reads it on an interval
+// and differences consecutive snapshots to estimate the current
+// timeout/SERVFAIL rate.
+type TransportStats struct {
+	Retries          uint64
+	Timeouts         uint64
+	Malformed        uint64
+	InvalidResponses uint64
+	TCPFallbacks     uint64
+	// Servfails counts terminal SERVFAIL resolutions — mostly broken
+	// domains, a property of the population rather than the path.
+	Servfails uint64
+	// UpstreamServfails counts SERVFAIL responses received from
+	// authoritative servers — together with Timeouts, the load-pressure
+	// signal a campaign governor reacts to (a shedding or overwhelmed
+	// authority answers SERVFAIL; a congested path times out).
+	UpstreamServfails uint64
+}
+
+// TransportStats returns the current cumulative transport counters.
+func (r *Resolver) TransportStats() TransportStats {
+	return TransportStats{
+		Retries:           r.stats.retries.Load(),
+		Timeouts:          r.stats.timeouts.Load(),
+		Malformed:         r.stats.malformed.Load(),
+		InvalidResponses:  r.stats.invalidResponses.Load(),
+		TCPFallbacks:      r.stats.tcpFallbacks.Load(),
+		Servfails:         r.stats.servfails.Load(),
+		UpstreamServfails: r.stats.upstreamServfails.Load(),
+	}
 }
 
 // observeRTT feeds the RTT histogram when one is registered; a single atomic

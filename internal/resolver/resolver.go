@@ -46,6 +46,14 @@ type Resolver struct {
 	// serve-stale, and error caching), modelling a zdns-style scan where
 	// every name is unique: only the infrastructure caches stay warm.
 	DisableAnswerCache bool
+	// AnswerCacheReadOnly keeps answer-cache lookups (including serve-stale)
+	// active but stops new answers from being stored. A scan campaign flips
+	// this on after its warmup pass: scan names are unique and never
+	// re-queried, so storing their answers would only grow the heap with the
+	// population — while the warmed entries that serve-stale depends on stay
+	// pinned (nothing is inserted, so nothing can evict them). This is what
+	// keeps campaign peak heap O(workers) at any population size.
+	AnswerCacheReadOnly bool
 
 	Cache *Cache
 
@@ -273,11 +281,13 @@ func (r *Resolver) ResolveWithOptions(ctx context.Context, qname dnswire.Name, q
 			}
 		}
 		// Error cache (EDE 13 on subsequent hits).
-		r.Cache.putAnswer(key, &cachedAnswer{
-			rcode: dnswire.RCodeServFail, conditions: append([]Condition(nil), st.conds...),
-			storedAt: now,
-		}, r.Cache.ErrorTTL)
-	} else if len(answer) > 0 || rcode == dnswire.RCodeNXDomain {
+		if !r.AnswerCacheReadOnly {
+			r.Cache.putAnswer(key, &cachedAnswer{
+				rcode: dnswire.RCodeServFail, conditions: append([]Condition(nil), st.conds...),
+				storedAt: now,
+			}, r.Cache.ErrorTTL)
+		}
+	} else if !r.AnswerCacheReadOnly && (len(answer) > 0 || rcode == dnswire.RCodeNXDomain) {
 		ttl := answerTTL(answer)
 		r.Cache.putAnswer(key, &cachedAnswer{
 			answer: answer, rcode: rcode, secure: secure,
@@ -643,6 +653,17 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 					return nil, netip.Addr{}, false
 				}
 			}
+			if tc != nil && tc.Admit != nil {
+				// Campaign admission: block until the per-authority and
+				// global token buckets release a slot for this attempt. The
+				// only error Admit returns is the context's, so a blocked
+				// shard being cancelled drains like any other cancellation.
+				if err := tc.Admit(st.ctx, addr); err != nil {
+					st.cancelled = true
+					st.addCond(ConditionCancelled, "")
+					return nil, netip.Addr{}, false
+				}
+			}
 			q := dnswire.NewQuery(uint16(r.idCounter.Add(1)), qname, qtype)
 			q.RecursionDesired = false
 			r.QueryCount.Add(1)
@@ -729,6 +750,7 @@ func (st *resolution) queryServers(servers []netip.Addr, qname dnswire.Name, qty
 			st.traceEvent(addr, qname, qtype, "REFUSED")
 		case dnswire.RCodeServFail:
 			sawServfail = true
+			r.stats.upstreamServfails.Add(1)
 			lastAddr, lastRCode = addr, resp.RCode
 		case dnswire.RCodeNotAuth:
 			sawNotAuth = true

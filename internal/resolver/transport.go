@@ -41,6 +41,13 @@ type TransportConfig struct {
 	// Sleep is the backoff clock, injectable so chaos tests run at full
 	// speed. Nil means a real context-aware sleep.
 	Sleep func(context.Context, time.Duration)
+	// Admit, when set, is called with the target authority before every
+	// query attempt and blocks until the caller's rate policy admits it —
+	// the campaign engine installs its per-authority token buckets and
+	// global qps cap here. It must return nil to proceed; the only non-nil
+	// error it may return is ctx.Err(), which abandons the resolution as
+	// cancelled.
+	Admit func(ctx context.Context, addr netip.Addr) error
 }
 
 func (tc *TransportConfig) timeout() time.Duration {

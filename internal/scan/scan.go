@@ -34,11 +34,25 @@ type Result struct {
 // HasEDE reports whether the domain triggered at least one EDE.
 func (r Result) HasEDE() bool { return len(r.Codes) > 0 }
 
+// Gate bounds how many resolutions may run at once, independently of the
+// worker count: a campaign governor shrinks the effective concurrency under
+// fault pressure by holding slots back, without tearing down workers.
+// Acquire blocks until a slot frees (returning early if ctx ends — the
+// resolver then observes the cancellation itself); Release returns the slot.
+type Gate interface {
+	Acquire(ctx context.Context)
+	Release()
+}
+
 // Scanner drives concurrent resolutions, zdns-style.
 type Scanner struct {
 	Resolver *resolver.Resolver
 	// Workers is the concurrency level (default 32).
 	Workers int
+	// Gate, when set, is acquired around every resolution (never around the
+	// cancellation drain), letting a campaign governor adapt the effective
+	// concurrency below Workers.
+	Gate Gate
 	// QueryCount, Resolutions, and Elapsed are filled by Scan/ScanStream for
 	// the §5 rate analysis.
 	QueryCount  uint64
@@ -109,7 +123,13 @@ func (s *Scanner) run(ctx context.Context, next func() (dnswire.Name, int, bool)
 					emit(seq, Result{Domain: name, Skipped: true})
 					continue
 				}
+				if s.Gate != nil {
+					s.Gate.Acquire(ctx)
+				}
 				res := s.Resolver.Resolve(ctx, name, dnswire.TypeA)
+				if s.Gate != nil {
+					s.Gate.Release()
+				}
 				if res.Cancelled {
 					// The resolver was interrupted mid-lookup: the domain
 					// was never measured, not lame.
@@ -196,6 +216,55 @@ func (s *Scanner) ScanStream(ctx context.Context, src NameSource, sink func(Resu
 			defer sinkMu.Unlock()
 			n++
 			sink(r)
+		},
+	)
+	return n
+}
+
+// ScanStreamOrdered is ScanStream with the sink called in source order
+// instead of completion order: an internal reorder buffer holds results that
+// finish ahead of an earlier name still in flight. Because each worker holds
+// at most one name, the buffer never exceeds O(workers) entries — the
+// constant-memory property is preserved. A campaign checkpoints through this
+// path: after the Nth sink call the aggregates describe exactly the first N
+// names of the source, so "resume at position N" is well defined even though
+// workers complete out of order.
+func (s *Scanner) ScanStreamOrdered(ctx context.Context, src NameSource, sink func(Result)) int {
+	var (
+		srcMu   sync.Mutex
+		seq     int
+		sinkMu  sync.Mutex
+		pending map[int]Result
+		nextSeq int
+		n       int
+	)
+	pending = make(map[int]Result, 64)
+	s.run(ctx,
+		func() (dnswire.Name, int, bool) {
+			srcMu.Lock()
+			defer srcMu.Unlock()
+			name, ok := src.Next()
+			if !ok {
+				return "", 0, false
+			}
+			i := seq
+			seq++
+			return name, i, true
+		},
+		func(i int, r Result) {
+			sinkMu.Lock()
+			defer sinkMu.Unlock()
+			pending[i] = r
+			for {
+				next, ok := pending[nextSeq]
+				if !ok {
+					return
+				}
+				delete(pending, nextSeq)
+				nextSeq++
+				n++
+				sink(next)
+			}
 		},
 	)
 	return n
