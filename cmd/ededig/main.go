@@ -40,6 +40,7 @@ import (
 	"github.com/extended-dns-errors/edelab/internal/authserver"
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
 	"github.com/extended-dns-errors/edelab/internal/resolver"
 	"github.com/extended-dns-errors/edelab/internal/telemetry"
 	"github.com/extended-dns-errors/edelab/internal/testbed"
@@ -59,6 +60,8 @@ func main() {
 	insecure := flag.Bool("insecure", false, "skip TLS certificate verification for -tls/-doh (edeserver's default cert is self-signed)")
 	traceMode := flag.Bool("trace", false, "resolve in-process against the built-in testbed and render the resolution trace (ignores -server)")
 	profileName := flag.String("profile", "cloudflare", "vendor profile for -trace (cloudflare, google, quad9, ...)")
+	chaosSpec := flag.String("chaos", "", "with -trace, inject a fault profile (e.g. \"loss=0.3,lat=20ms\") into every testbed path")
+	chaosSeed := flag.Uint64("chaos-seed", 20230515, "with -chaos, seed for the deterministic fault streams")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -78,8 +81,12 @@ func main() {
 	}
 
 	if *traceMode {
-		runTrace(name, qtype, *profileName)
+		runTrace(name, qtype, *profileName, *chaosSpec, *chaosSeed)
 		return
+	}
+	if *chaosSpec != "" {
+		fmt.Fprintln(os.Stderr, "ededig: -chaos requires -trace (faults are injected into the in-process testbed)")
+		os.Exit(2)
 	}
 
 	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), name, qtype)
@@ -143,11 +150,23 @@ func transportName(doh, dot, tcp bool) string {
 
 // runTrace resolves the name against the in-process testbed with a live
 // trace in the context, then renders the span tree the resolver built.
-func runTrace(name dnswire.Name, qtype dnswire.Type, profileName string) {
+// A non-empty chaos spec installs a deterministic fault plan on every
+// testbed path, seeded so the same invocation replays the same failures.
+func runTrace(name dnswire.Name, qtype dnswire.Type, profileName, chaosSpec string, chaosSeed uint64) {
 	tb, err := testbed.Build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ededig: building testbed: %v\n", err)
 		os.Exit(1)
+	}
+	if chaosSpec != "" {
+		fp, err := netsim.ParseFaultProfile(chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ededig: bad -chaos spec: %v\n", err)
+			os.Exit(2)
+		}
+		tb.Net.SetFaults(netsim.NewFaultPlan(chaosSeed, fp))
+		fmt.Printf(";; chaos: %s\n", fp.String())
+		fmt.Printf(";; effective seed: %d\n", chaosSeed)
 	}
 	res := tb.NewResolver(resolverProfile(profileName))
 	ctx, tr := telemetry.StartTrace(context.Background(), fmt.Sprintf("%s %s", name, qtype))

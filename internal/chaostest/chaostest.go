@@ -164,19 +164,9 @@ func (r *Result) Report() string {
 }
 
 // Diff compares two runs cell by cell and returns a sorted list of
-// human-readable mismatches ("case/system: a=... b=...").
+// human-readable mismatches ("case/system: a=... b=..."). The cell
+// comparison itself lives in ede.Matrix.Diff so the scenario engine's
+// verdict layer shares it.
 func Diff(a, b *Result) []string {
-	var out []string
-	for _, c := range a.Matrix.Cases {
-		for _, sys := range a.Matrix.Systems {
-			sa := a.Matrix.Results[c][sys]
-			sb := b.Matrix.Results[c][sys]
-			if !sa.Equal(sb) {
-				out = append(out, fmt.Sprintf("%s/%s: %s=%s %s=%s",
-					c, sys, a.Schedule.Name, sa, b.Schedule.Name, sb))
-			}
-		}
-	}
-	sort.Strings(out)
-	return out
+	return a.Matrix.Diff(b.Matrix, a.Schedule.Name, b.Schedule.Name)
 }

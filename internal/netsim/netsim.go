@@ -135,6 +135,15 @@ func (n *Network) Deregister(addr netip.Addr) {
 	delete(n.endpoints, addr)
 }
 
+// HandlerAt returns the endpoint registered at addr, so chaos tooling can
+// wrap a live server (e.g. a poisoning man-in-the-middle) and restore it.
+func (n *Network) HandlerAt(addr netip.Addr) (Handler, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.endpoints[addr]
+	return h, ok
+}
+
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats {
 	return Stats{

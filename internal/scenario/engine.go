@@ -1,0 +1,425 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// driver executes one topology family. The engine owns phase sequencing,
+// fault installation, and hypothesis evaluation; the driver owns the
+// infrastructure and the action verbs.
+type driver interface {
+	// setup builds the topology for one run. reg receives every metric the
+	// run exposes; probes are evaluated against it.
+	setup(ctx context.Context, seed uint64, sc *Scenario, reg *telemetry.Registry) error
+	// network returns the simulated network faults are installed on, or nil
+	// when the driver has none.
+	network() *netsim.Network
+	// endpoint resolves a symbolic fault endpoint ("root", a case label) to
+	// its address. "all" is handled by the engine and never passed here.
+	endpoint(name string) (netip.Addr, bool)
+	// runPhase executes the phase's actions in order and returns what the
+	// steady-state hypothesis is checked against.
+	runPhase(ctx context.Context, ph *Phase) (*observations, error)
+	close()
+}
+
+// observations is what one phase exposes to expect evaluation.
+type observations struct {
+	// cells/cellRCodes/expected carry the Table 4 walk (matrix driver only):
+	// observed EDE sets, observed RCODE strings, and the paper's ground
+	// truth for the selected cells.
+	cells     *matrixObs
+	responses []response
+}
+
+type matrixObs struct {
+	cases    []string
+	systems  []string
+	edes     map[string]map[string][]uint16 // case -> system -> sorted EDE codes
+	rcodes   map[string]map[string]string   // case -> system -> RCODE string
+	expected map[string]map[string][]uint16 // ground truth EDE sets
+}
+
+// response is one client answer observed by a query action.
+type response struct {
+	label string
+	rcode string
+	edes  []uint16 // sorted
+}
+
+func newDriver(name string) (driver, error) {
+	switch name {
+	case "matrix":
+		return &matrixDriver{}, nil
+	case "frontend":
+		return &frontendDriver{}, nil
+	case "streamclient":
+		return &streamDriver{}, nil
+	case "campaign":
+		return &campaignDriver{}, nil
+	}
+	return nil, fmt.Errorf("scenario: %w: %q", ErrUnknownDriver, name)
+}
+
+// Verdict classifies one run.
+type Verdict string
+
+const (
+	VerdictPass  Verdict = "PASS"
+	VerdictFail  Verdict = "FAIL"
+	VerdictFlaky Verdict = "FLAKY"
+)
+
+// check is one evaluated expect or probe.
+type check struct {
+	pass   bool
+	spec   string // the expect/probe in canonical spec form
+	kind   string // "expect" or "probe"
+	detail string // measured value / mismatch summary, deterministic
+}
+
+// phaseResult is one executed phase.
+type phaseResult struct {
+	name   string
+	checks []check
+	err    error // phase aborted (action failure)
+}
+
+// RunResult is one completed scenario run with its verdict.
+type RunResult struct {
+	Scenario *Scenario
+	// Seed is the effective seed the run (and its report) derives from.
+	Seed    uint64
+	Verdict Verdict
+
+	phases []phaseResult
+	// retries records the flaky-rerun outcomes ("seed N: PASS") in order.
+	retries []string
+
+	failed, total int
+}
+
+// Failed and Total report the check tally of the primary run.
+func (r *RunResult) Failed() int { return r.failed }
+func (r *RunResult) Total() int  { return r.total }
+
+// Run executes the scenario deterministically from seed: the primary run,
+// plus — when the primary fails and the verdict rule grants flaky retries —
+// reruns from derived seeds (seed+1, seed+2, ...). Any passing rerun turns
+// FAIL into FLAKY. The whole result, report included, is a pure function of
+// (scenario, seed).
+func Run(ctx context.Context, sc *Scenario, seed uint64) (*RunResult, error) {
+	res, err := runOnce(ctx, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	if res.Verdict == VerdictFail && sc.Verdict.FlakyRetries > 0 {
+		for i := 1; i <= sc.Verdict.FlakyRetries; i++ {
+			retry, err := runOnce(ctx, sc, seed+uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: flaky retry %d: %w", sc.Name, i, err)
+			}
+			res.retries = append(res.retries,
+				fmt.Sprintf("retry seed %d: %s", seed+uint64(i), retry.Verdict))
+			if retry.Verdict == VerdictPass {
+				res.Verdict = VerdictFlaky
+			}
+		}
+	}
+	return res, nil
+}
+
+// runOnce executes one full pass of every phase.
+func runOnce(ctx context.Context, sc *Scenario, seed uint64) (*RunResult, error) {
+	drv, err := newDriver(sc.Driver)
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.NewRegistry()
+	if err := drv.setup(ctx, seed, sc, reg); err != nil {
+		return nil, fmt.Errorf("scenario %s: setup: %w", sc.Name, err)
+	}
+	defer drv.close()
+
+	res := &RunResult{Scenario: sc, Seed: seed}
+	for i := range sc.Phases {
+		ph := &sc.Phases[i]
+		pr := phaseResult{name: ph.Name}
+		if err := installFaults(drv, seed, ph); err != nil {
+			return nil, fmt.Errorf("scenario %s: phase %s: %w", sc.Name, ph.Name, err)
+		}
+		obs, err := drv.runPhase(ctx, ph)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: phase %s: %w", sc.Name, ph.Name, err)
+		}
+		for _, e := range ph.Expects {
+			pr.checks = append(pr.checks, evalExpect(e, obs))
+		}
+		for _, p := range ph.Probes {
+			pr.checks = append(pr.checks, evalProbe(p, reg))
+		}
+		for _, c := range pr.checks {
+			res.total++
+			if !c.pass {
+				res.failed++
+			}
+		}
+		res.phases = append(res.phases, pr)
+	}
+	if res.failed <= sc.Verdict.Tolerance {
+		res.Verdict = VerdictPass
+	} else {
+		res.Verdict = VerdictFail
+	}
+	return res, nil
+}
+
+// installFaults composes the phase's fault rules into one FaultPlan: the
+// "all" rule is the plan default, every other endpoint becomes an override.
+// A phase with no fault lines clears all faults.
+func installFaults(drv driver, seed uint64, ph *Phase) error {
+	net := drv.network()
+	if net == nil {
+		if len(ph.Faults) > 0 {
+			return fmt.Errorf("driver has no network to fault")
+		}
+		return nil
+	}
+	if len(ph.Faults) == 0 {
+		net.SetFaults(nil)
+		return nil
+	}
+	var def netsim.FaultProfile
+	for _, f := range ph.Faults {
+		if f.Endpoint == "all" {
+			fp, err := netsim.ParseFaultProfile(f.Spec)
+			if err != nil {
+				return err
+			}
+			def = fp
+		}
+	}
+	plan := netsim.NewFaultPlan(seed, def)
+	for _, f := range ph.Faults {
+		if f.Endpoint == "all" {
+			continue
+		}
+		addr, ok := drv.endpoint(f.Endpoint)
+		if !ok {
+			return fmt.Errorf("unknown fault endpoint %q", f.Endpoint)
+		}
+		fp, err := netsim.ParseFaultProfile(f.Spec)
+		if err != nil {
+			return err
+		}
+		plan.Override(addr, fp)
+	}
+	net.SetFaults(plan)
+	return nil
+}
+
+// systemMatches reports whether a spec-side system token selects a full
+// profile name: exact match, or a case-insensitive match on the name's first
+// word ("bind" selects "BIND 9.19.9") — spec tokens cannot contain spaces.
+func systemMatches(token, name string) bool {
+	if token == "*" || token == name {
+		return true
+	}
+	first, _, _ := strings.Cut(name, " ")
+	return strings.EqualFold(token, first)
+}
+
+func evalExpect(e Expect, obs *observations) check {
+	c := check{spec: "expect " + e.String(), kind: "expect"}
+	switch e.Kind {
+	case "table4":
+		m := obs.cells
+		if m == nil {
+			c.detail = "phase recorded no matrix cells"
+			return c
+		}
+		var mismatches []string
+		for _, cs := range m.cases {
+			for _, sys := range m.systems {
+				if !equalCodes(m.edes[cs][sys], m.expected[cs][sys]) {
+					mismatches = append(mismatches, fmt.Sprintf("%s/%s: got=%s want=%s",
+						cs, sys, codesString(m.edes[cs][sys]), codesString(m.expected[cs][sys])))
+				}
+			}
+		}
+		sort.Strings(mismatches)
+		if len(mismatches) == 0 {
+			c.pass = true
+			c.detail = fmt.Sprintf("%d cells match ground truth", len(m.cases)*len(m.systems))
+		} else {
+			c.detail = fmt.Sprintf("%d/%d cells diverge; first: %s",
+				len(mismatches), len(m.cases)*len(m.systems), mismatches[0])
+		}
+	case "cell":
+		m := obs.cells
+		if m == nil {
+			c.detail = "phase recorded no matrix cells"
+			return c
+		}
+		matched, failedCell, got := 0, "", ""
+		for _, cs := range m.cases {
+			if e.Case != "*" && e.Case != cs {
+				continue
+			}
+			for _, sys := range m.systems {
+				if !systemMatches(e.System, sys) {
+					continue
+				}
+				matched++
+				ok, observed := cellMatches(e, m.rcodes[cs][sys], m.edes[cs][sys])
+				if !ok && failedCell == "" {
+					failedCell, got = cs+"/"+sys, observed
+				}
+			}
+		}
+		switch {
+		case matched == 0:
+			c.detail = "no cell matches " + e.Case + "/" + e.System
+		case failedCell != "":
+			c.detail = fmt.Sprintf("cell %s got %s", failedCell, got)
+		default:
+			c.pass = true
+			c.detail = fmt.Sprintf("%d cells match", matched)
+		}
+	case "responses":
+		matched, firstMiss := 0, ""
+		for _, r := range obs.responses {
+			ok, observed := cellMatches(e, r.rcode, r.edes)
+			if ok {
+				matched++
+			} else if firstMiss == "" {
+				firstMiss = fmt.Sprintf("%s got %s", r.label, observed)
+			}
+		}
+		switch {
+		case e.Count >= 0:
+			if matched == e.Count {
+				c.pass = true
+				c.detail = fmt.Sprintf("%d/%d responses match", matched, len(obs.responses))
+			} else {
+				c.detail = fmt.Sprintf("%d responses match, want %d", matched, e.Count)
+				if firstMiss != "" {
+					c.detail += "; first miss: " + firstMiss
+				}
+			}
+		case len(obs.responses) == 0:
+			c.detail = "phase recorded no responses"
+		case matched == len(obs.responses):
+			c.pass = true
+			c.detail = fmt.Sprintf("all %d responses match", matched)
+		default:
+			c.detail = fmt.Sprintf("%d/%d responses match; first miss: %s",
+				matched, len(obs.responses), firstMiss)
+		}
+	}
+	return c
+}
+
+// cellMatches checks one observed (rcode, ede set) against the expect's
+// clauses, returning the observed rendering for failure messages.
+func cellMatches(e Expect, rcode string, edes []uint16) (bool, string) {
+	observed := "rcode=" + rcode + " ede=" + codesString(edes)
+	if e.RCode != "" && e.RCode != rcode {
+		return false, observed
+	}
+	if e.HasEDE && !equalCodes(edes, e.EDE) {
+		return false, observed
+	}
+	return true, observed
+}
+
+func evalProbe(p Probe, reg *telemetry.Registry) check {
+	c := check{spec: "probe " + p.String(), kind: "probe"}
+	v, ok := reg.Value(p.Metric, p.Labels...)
+	if !ok {
+		c.detail = "metric not registered"
+		return c
+	}
+	switch {
+	case p.HasMin && v < p.Min:
+		c.detail = fmt.Sprintf("value %s below min %s", formatFloat(v), formatFloat(p.Min))
+	case p.HasMax && v > p.Max:
+		c.detail = fmt.Sprintf("value %s above max %s", formatFloat(v), formatFloat(p.Max))
+	default:
+		c.pass = true
+		c.detail = "value " + formatFloat(v)
+	}
+	return c
+}
+
+func equalCodes(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func codesString(codes []uint16) string {
+	if len(codes) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(codes))
+	for i, c := range codes {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Report renders the run as a canonical byte-stable document. Two runs of
+// the same scenario from the same seed produce identical bytes; the
+// effective seed is embedded so any failure is reproducible from the report
+// alone.
+func (r *RunResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\n", r.Scenario.Name)
+	fmt.Fprintf(&b, "driver: %s\n", r.Scenario.Driver)
+	fmt.Fprintf(&b, "effective seed: %d\n", r.Seed)
+	for _, ph := range r.phases {
+		fmt.Fprintf(&b, "\nphase: %s\n", ph.name)
+		for _, c := range ph.checks {
+			status := "FAIL"
+			if c.pass {
+				status = "PASS"
+			}
+			fmt.Fprintf(&b, "  %s %s [%s]\n", status, c.spec, c.detail)
+		}
+	}
+	b.WriteString("\n")
+	for _, line := range r.retries {
+		fmt.Fprintf(&b, "%s\n", line)
+	}
+	fmt.Fprintf(&b, "verdict: %s (%d/%d checks passed, tolerance %d)\n",
+		r.Verdict, r.total-r.failed, r.total, r.Scenario.Verdict.Tolerance)
+	return b.String()
+}
+
+// FailedChecks lists the specs of every failed check of the primary run —
+// the violated probes a FAIL verdict names.
+func (r *RunResult) FailedChecks() []string {
+	var out []string
+	for _, ph := range r.phases {
+		for _, c := range ph.checks {
+			if !c.pass {
+				out = append(out, ph.name+": "+c.spec)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSeed = 20230515
+
+// TestLibraryDeterministic runs every committed library scenario twice from
+// the same seed and requires byte-identical verdict reports. Under -race this
+// also shakes out unsynchronized state inside the drivers.
+func TestLibraryDeterministic(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.scn")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob scenarios: %v (%d files)", err, len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			sc, err := ParseFile(path)
+			if err != nil {
+				t.Fatalf("ParseFile: %v", err)
+			}
+			first, err := Run(context.Background(), sc, testSeed)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			if first.Verdict != VerdictPass {
+				t.Fatalf("library scenario did not pass:\n%s", first.Report())
+			}
+			if first.Seed != testSeed {
+				t.Errorf("result seed %d, want %d", first.Seed, testSeed)
+			}
+			if !strings.Contains(first.Report(), "effective seed: 20230515") {
+				t.Errorf("report does not embed the effective seed:\n%s", first.Report())
+			}
+			second, err := Run(context.Background(), sc, testSeed)
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			if first.Report() != second.Report() {
+				t.Errorf("reports differ between identical runs\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					first.Report(), second.Report())
+			}
+		})
+	}
+}
+
+// TestNegativeFixtureFails pins the committed failing hypothesis: it must
+// FAIL and name every violated check.
+func TestNegativeFixtureFails(t *testing.T) {
+	sc, err := ParseFile("../../scenarios/negative/broken-hypothesis.scn")
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	res, err := Run(context.Background(), sc, testSeed)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Verdict != VerdictFail {
+		t.Fatalf("verdict %s, want FAIL:\n%s", res.Verdict, res.Report())
+	}
+	failed := res.FailedChecks()
+	if len(failed) == 0 {
+		t.Fatal("FAIL verdict with no failed checks reported")
+	}
+	var sawProbe, sawExpect bool
+	for _, f := range failed {
+		if strings.Contains(f, "probe metric edelab_resolver_queries_total") {
+			sawProbe = true
+		}
+		if strings.Contains(f, "expect cell valid cloudflare") {
+			sawExpect = true
+		}
+	}
+	if !sawProbe || !sawExpect {
+		t.Errorf("failed checks do not name the violated probe and cell: %q", failed)
+	}
+	report := res.Report()
+	for _, f := range failed {
+		_, spec, ok := strings.Cut(f, ": ")
+		if !ok || !strings.Contains(report, "FAIL "+spec) {
+			t.Errorf("report does not mark %q as FAIL:\n%s", f, report)
+		}
+	}
+}
+
+// TestUnknownDriver ensures Run refuses a scenario whose driver the parser
+// would also have refused (defence in depth for hand-built Scenario values).
+func TestUnknownDriver(t *testing.T) {
+	sc := &Scenario{Name: "x", Driver: "quantum",
+		Phases: []Phase{{Name: "a", Expects: []Expect{{Kind: "table4"}}}}}
+	if _, err := Run(context.Background(), sc, 1); err == nil {
+		t.Fatal("Run accepted unknown driver")
+	}
+}

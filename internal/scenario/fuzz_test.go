@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sentinels is every typed error Parse is allowed to return.
+var sentinels = []error{
+	ErrSyntax, ErrUnknownKey, ErrDuplicateKey, ErrBadValue, ErrBadFaultSpec,
+	ErrUnknownProbe, ErrUnknownDriver, ErrUnknownAction, ErrIncomplete,
+}
+
+// FuzzParseScenario asserts the parser's contract on arbitrary input: it
+// never panics, every failure is a *ParseError wrapping one of the exported
+// sentinels with no half-applied scenario alongside it, and every accepted
+// input canonicalizes to a stable fixpoint via String().
+func FuzzParseScenario(f *testing.F) {
+	// The committed library doubles as structured seeds.
+	for _, pat := range []string{"../../scenarios/*.scn", "../../scenarios/negative/*.scn"} {
+		files, _ := filepath.Glob(pat)
+		for _, path := range files {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				f.Fatalf("read seed %s: %v", path, err)
+			}
+			f.Add(string(src))
+		}
+	}
+	f.Add("scenario: demo\ndriver: matrix\nphase: a\n  expect: table4\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, err := Parse(src)
+		if err != nil {
+			if sc != nil {
+				t.Fatalf("Parse returned scenario AND error %v", err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError: %v", err, err)
+			}
+			var typed bool
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					typed = true
+					break
+				}
+			}
+			if !typed {
+				t.Fatalf("error does not wrap a known sentinel: %v", err)
+			}
+			return
+		}
+		canon := sc.String()
+		sc2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("String() output does not re-parse: %v\n--- input ---\n%s\n--- canonical ---\n%s",
+				err, src, canon)
+		}
+		if again := sc2.String(); again != canon {
+			t.Fatalf("String() not a fixpoint\n--- first ---\n%s\n--- second ---\n%s", canon, again)
+		}
+	})
+}

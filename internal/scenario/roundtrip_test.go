@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// libraryFiles returns every committed scenario file, negatives included.
+func libraryFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, pat := range []string{"../../scenarios/*.scn", "../../scenarios/negative/*.scn"} {
+		matched, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatalf("glob %s: %v", pat, err)
+		}
+		files = append(files, matched...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no committed scenario files found")
+	}
+	return files
+}
+
+// TestRoundTrip checks that Scenario.String is a lossless canonical form:
+// for every committed scenario, String() re-parses to a deeply equal value
+// and is a fixpoint (String of the re-parse is byte-identical).
+func TestRoundTrip(t *testing.T) {
+	for _, path := range libraryFiles(t) {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := ParseFile(path)
+			if err != nil {
+				t.Fatalf("ParseFile: %v", err)
+			}
+			canon := sc.String()
+			sc2, err := Parse(canon)
+			if err != nil {
+				t.Fatalf("re-parse of String() output: %v\n--- canonical form ---\n%s", err, canon)
+			}
+			if !reflect.DeepEqual(sc, sc2) {
+				t.Errorf("round trip not equal\n--- original ---\n%#v\n--- reparsed ---\n%#v", sc, sc2)
+			}
+			if again := sc2.String(); again != canon {
+				t.Errorf("String() is not a fixpoint\n--- first ---\n%s\n--- second ---\n%s", canon, again)
+			}
+		})
+	}
+}
+
+// TestLibraryParses is a plain parse gate so a broken committed file fails
+// with its parse error rather than inside the engine tests.
+func TestLibraryParses(t *testing.T) {
+	for _, path := range libraryFiles(t) {
+		if _, err := ParseFile(path); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+	if _, err := os.Stat("../../scenarios/negative/broken-hypothesis.scn"); err != nil {
+		t.Errorf("negative fixture missing: %v", err)
+	}
+}

@@ -45,6 +45,15 @@ type Testbed struct {
 	// Clock is the frozen validation clock resolvers must use.
 	Clock func() time.Time
 
+	// Addrs maps symbolic endpoint names to server addresses: "root",
+	// "com", "parent", and every case label with a registered server.
+	// Chaos tooling uses it to aim per-endpoint fault profiles.
+	Addrs map[string]netip.Addr
+
+	// Root, Com, and Parent expose the infrastructure zones so chaos
+	// scenarios can mutate them (re-sign, roll keys) mid-run.
+	Root, Com, Parent *zone.Zone
+
 	zones map[string]*zone.Zone
 }
 
@@ -141,6 +150,10 @@ func Build() (*Testbed, error) {
 		Net:   net_,
 		Roots: []netip.Addr{rootAddr},
 		Clock: func() time.Time { return time.Unix(int64(Now), 0) },
+		Addrs: map[string]netip.Addr{
+			"root": rootAddr, "com": comAddr, "parent": parentAddr,
+		},
+		Root: root, Com: com, Parent: parent,
 		zones: make(map[string]*zone.Zone),
 	}
 	anchor, err := root.DS(dnssec.DigestSHA256)
@@ -238,6 +251,7 @@ func buildCase(tb *Testbed, state *buildState, parent *zone.Zone, spec caseSpec)
 		srv := authserver.New(z)
 		srv.ACL = spec.acl
 		state.net.Register(addr, srv)
+		tb.Addrs[spec.label] = addr
 		tb.zones[spec.label] = z
 		tb.Cases = append(tb.Cases, c)
 		return nil
