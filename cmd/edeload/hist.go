@@ -1,0 +1,88 @@
+package main
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// hist is an HDR-style log-linear latency histogram over nanoseconds:
+// values below 2^subBits land in exact unit buckets, and every power-of-two
+// decade above that is split into 2^subBits linear sub-buckets, so the
+// relative quantile error is bounded by 1/2^subBits (~3%) at every
+// magnitude from nanoseconds to minutes. Recording is one atomic add —
+// safe and cheap from every worker goroutine.
+type hist struct {
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	maxNS  atomic.Int64
+}
+
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits // 32 linear sub-buckets per decade
+	decades    = 64 - subBits
+)
+
+func newHist() *hist {
+	return &hist{counts: make([]atomic.Uint64, decades*subBuckets)}
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	shift := msb - subBits
+	idx := (shift+1)*subBuckets + int((v>>shift)&(subBuckets-1))
+	if idx >= decades*subBuckets {
+		idx = decades*subBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue is the representative (midpoint) value of bucket idx.
+func bucketValue(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	shift := idx/subBuckets - 1
+	sub := int64(idx % subBuckets)
+	lo := (int64(subBuckets) + sub) << shift
+	return lo + (int64(1)<<shift)/2
+}
+
+func (h *hist) record(ns int64) {
+	h.counts[bucketIndex(ns)].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// quantile returns the latency at quantile q (0 < q <= 1), or 0 when the
+// histogram is empty.
+func (h *hist) quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return bucketValue(i)
+		}
+	}
+	return h.maxNS.Load()
+}

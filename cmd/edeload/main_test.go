@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/transport"
+)
+
+// TestHistQuantiles: a known distribution comes back with bounded relative
+// error — the log-linear layout guarantees ~3% per bucket.
+func TestHistQuantiles(t *testing.T) {
+	h := newHist()
+	// 1..1000µs uniform, in nanoseconds.
+	for i := int64(1); i <= 1000; i++ {
+		h.record(i * 1000)
+	}
+	checks := []struct {
+		q    float64
+		want int64 // ns
+	}{
+		{0.50, 500_000},
+		{0.90, 900_000},
+		{0.99, 990_000},
+	}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		lo, hi := c.want*95/100, c.want*105/100
+		if got < lo || got > hi {
+			t.Errorf("quantile(%.2f) = %d ns, want within 5%% of %d", c.q, got, c.want)
+		}
+	}
+	if h.maxNS.Load() != 1_000_000 {
+		t.Errorf("max = %d, want 1000000", h.maxNS.Load())
+	}
+	if empty := newHist(); empty.quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 1000, 12345, 1 << 20, 1 << 40} {
+		idx := bucketIndex(v)
+		rep := bucketValue(idx)
+		lo, hi := v-v/16-1, v+v/16+1
+		if rep < lo || rep > hi {
+			t.Errorf("value %d → bucket %d → representative %d (outside ±1/16)", v, idx, rep)
+		}
+	}
+}
+
+func TestParseQnames(t *testing.T) {
+	mix, err := parseQnames("a.example, b.example.")
+	if err != nil || len(mix) != 2 {
+		t.Fatalf("parseQnames: %v (%d names)", err, len(mix))
+	}
+	if _, err := parseQnames(""); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+// TestRunAgainstLiveServer drives the whole closed loop against a real UDP
+// front door for a fraction of a second and checks the summary is sane.
+func TestRunAgainstLiveServer(t *testing.T) {
+	handler := netsim.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		r.RecursionAvailable = true
+		r.AddEDE(3, "load test")
+		return r, nil
+	})
+	srv := transport.NewServer(transport.Config{Handler: handler})
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.ServeUDP(ctx, conn)
+
+	mix, _ := parseQnames("a.example,b.example")
+	r := run(runConfig{
+		server: conn.LocalAddr().String(), transport: "udp",
+		concurrency: 2, duration: 300 * time.Millisecond, warmup: 50 * time.Millisecond,
+		mix: mix, qtype: dnswire.TypeA, timeout: 2 * time.Second,
+	})
+	if r.Responses == 0 || r.AchievedQPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", r)
+	}
+	if r.Timeouts != 0 || r.Errors != 0 {
+		t.Errorf("timeouts=%d errors=%d against a loopback echo server", r.Timeouts, r.Errors)
+	}
+	if r.WithEDE != r.Responses {
+		t.Errorf("with-EDE = %d of %d responses, every reply carried EDE 3", r.WithEDE, r.Responses)
+	}
+	if r.LatencyUS.P50 <= 0 || r.LatencyUS.Max < r.LatencyUS.P50 {
+		t.Errorf("implausible latency summary: %+v", r.LatencyUS)
+	}
+}
+
+// TestRunPaced: with a 200 qps target the achieved rate must land well
+// under the unpaced loopback rate — pacing actually throttles.
+func TestRunPaced(t *testing.T) {
+	handler := netsim.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		return q.Reply(), nil
+	})
+	srv := transport.NewServer(transport.Config{Handler: handler})
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.ServeUDP(ctx, conn)
+
+	mix, _ := parseQnames("a.example")
+	r := run(runConfig{
+		server: conn.LocalAddr().String(), transport: "udp", qps: 200,
+		concurrency: 2, duration: 500 * time.Millisecond, warmup: 0,
+		mix: mix, qtype: dnswire.TypeA, timeout: 2 * time.Second,
+	})
+	if r.AchievedQPS > 400 {
+		t.Errorf("achieved %.0f qps with a 200 qps target; pacing is not throttling", r.AchievedQPS)
+	}
+	if r.Responses == 0 {
+		t.Fatal("paced run produced no responses")
+	}
+}

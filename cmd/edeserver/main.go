@@ -96,6 +96,10 @@ func main() {
 	tlsKey := flag.String("tls-key", "", "PEM private key for -tls/-doh")
 	maxConns := flag.Int("max-conns", transport.DefaultMaxConns, "per-listener bound on concurrent stream connections before shedding with EDE 23")
 	idleTimeout := flag.Duration("idle-timeout", transport.DefaultIdleTimeout, "stream connection idle timeout")
+	reuseport := flag.Int("reuseport", 1, "number of SO_REUSEPORT UDP sockets sharing -addr, one read loop each (linux only for >1)")
+	udpWorkers := flag.Int("udp-workers", transport.DefaultUDPWorkers, "goroutines per UDP read loop draining slow-path queries")
+	noWireCache := flag.Bool("no-wire-cache", false, "disable the pre-packed wire response cache (every query builds its response from scratch)")
+	tcpKeepalive := flag.Duration("tcp-keepalive", 0, "edns-tcp-keepalive idle timeout advertised on TCP/DoT responses (RFC 7828; 0 = not advertised)")
 	flag.Parse()
 
 	tb, err := testbed.Build()
@@ -113,10 +117,14 @@ func main() {
 		tb.Net.SetFaults(netsim.NewFaultPlan(*chaosSeed, fp))
 	}
 
-	conn, err := net.ListenPacket("udp", *addr)
+	conns, err := transport.ListenUDPReusePort(context.Background(), *addr, *reuseport)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 		os.Exit(1)
+	}
+	conn := conns[0]
+	if len(conns) > 1 {
+		fmt.Printf("SO_REUSEPORT: %d UDP sockets on %s\n", len(conns), conn.LocalAddr())
 	}
 	fmt.Printf("serving the extended-dns-errors.com testbed on %s (mode %s)\n", conn.LocalAddr(), *mode)
 	fmt.Printf("zones: root, com, %s and %d test subdomains\n", testbed.ParentZone, len(tb.Cases))
@@ -169,10 +177,23 @@ func main() {
 			front = fe
 		}
 		front = tracedHandler(front, sampler, tlog)
-		if err := serveFrontDoor(ctx, conn, front, reg, frontDoorOpts{
+		// The wire fast path is handed over explicitly: tracedHandler may
+		// wrap the frontend in a plain HandlerFunc (hiding its WireServer
+		// implementation from NewServer's auto-detect), and without tracing
+		// it returns the frontend bare (which auto-detect would find even
+		// under -no-wire-cache) — so both wire and disableWire are always
+		// set here. Wire hits bypass tracing: they never start a
+		// resolution, so there is no trace.
+		var wire transport.WireServer
+		if fe != nil && !*noWireCache {
+			wire = fe
+		}
+		if err := serveFrontDoor(ctx, conns, front, reg, frontDoorOpts{
 			tcp: *tcpAddr, dot: *tlsAddr, doh: *dohAddr,
 			certFile: *tlsCert, keyFile: *tlsKey,
 			maxConns: *maxConns, idleTimeout: *idleTimeout,
+			udpWorkers: *udpWorkers, wire: wire, disableWire: *noWireCache,
+			tcpKeepalive: *tcpKeepalive,
 		}); err != nil && ctx.Err() == nil {
 			fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 			os.Exit(1)
@@ -207,10 +228,11 @@ func main() {
 		return r, nil
 	})
 
-	if err := serveFrontDoor(ctx, conn, tracedHandler(front, sampler, tlog), reg, frontDoorOpts{
+	if err := serveFrontDoor(ctx, conns, tracedHandler(front, sampler, tlog), reg, frontDoorOpts{
 		tcp: *tcpAddr, dot: *tlsAddr, doh: *dohAddr,
 		certFile: *tlsCert, keyFile: *tlsKey,
 		maxConns: *maxConns, idleTimeout: *idleTimeout,
+		udpWorkers: *udpWorkers, tcpKeepalive: *tcpKeepalive,
 	}); err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 		os.Exit(1)
@@ -223,18 +245,27 @@ type frontDoorOpts struct {
 	certFile, keyFile string
 	maxConns          int
 	idleTimeout       time.Duration
+	udpWorkers        int
+	wire              transport.WireServer
+	disableWire       bool
+	tcpKeepalive      time.Duration
 }
 
-// serveFrontDoor runs the transport front door: UDP on conn always, plus
-// whichever stream/HTTP listeners the flags enabled, all funnelled into
-// front. It blocks until ctx is cancelled (SIGINT/SIGTERM) — at which point
-// every listener drains its in-flight queries — or a listener fails.
-func serveFrontDoor(ctx context.Context, conn net.PacketConn, front netsim.Handler, reg *telemetry.Registry, opts frontDoorOpts) error {
+// serveFrontDoor runs the transport front door: one ServeUDP read loop per
+// UDP socket (several under -reuseport), plus whichever stream/HTTP
+// listeners the flags enabled, all funnelled into front. It blocks until
+// ctx is cancelled (SIGINT/SIGTERM) — at which point every listener drains
+// its in-flight queries — or a listener fails.
+func serveFrontDoor(ctx context.Context, conns []net.PacketConn, front netsim.Handler, reg *telemetry.Registry, opts frontDoorOpts) error {
 	srv := transport.NewServer(transport.Config{
-		Handler:     front,
-		MaxConns:    opts.maxConns,
-		IdleTimeout: opts.idleTimeout,
-		Registry:    reg,
+		Handler:      front,
+		MaxConns:     opts.maxConns,
+		IdleTimeout:  opts.idleTimeout,
+		UDPWorkers:   opts.udpWorkers,
+		Wire:         opts.wire,
+		DisableWire:  opts.disableWire,
+		TCPKeepalive: opts.tcpKeepalive,
+		Registry:     reg,
 	})
 
 	var tlsConf *tls.Config
@@ -248,9 +279,13 @@ func serveFrontDoor(ctx context.Context, conn net.PacketConn, front netsim.Handl
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	errc := make(chan error, 4)
-	n := 1
-	go func() { errc <- srv.ServeUDP(ctx, conn) }()
+	errc := make(chan error, len(conns)+3)
+	n := 0
+	for _, conn := range conns {
+		conn := conn
+		n++
+		go func() { errc <- srv.ServeUDP(ctx, conn) }()
+	}
 
 	if opts.tcp != "" {
 		l, err := net.Listen("tcp", opts.tcp)

@@ -27,6 +27,13 @@ type builder struct {
 	compress bool
 	nameOffs [maxCompressTargets]uint16 // message-relative suffix offsets
 	nOffs    int
+	// recordTTL makes rrTTL note the message-relative offset of every RR
+	// TTL field in ttlOffs (the OPT pseudo-RR's TTL carries flags, not a
+	// lifetime, and is written with uint32 so it is never recorded). The
+	// frontend's wire cache uses the offsets to decay TTLs in place on
+	// pre-packed responses.
+	recordTTL bool
+	ttlOffs   []uint16
 }
 
 var builderPool = sync.Pool{New: func() any { return new(builder) }}
@@ -39,6 +46,8 @@ func newBuilder(compress bool, buf []byte) *builder {
 	b.base = len(buf)
 	b.compress = compress
 	b.nOffs = 0
+	b.recordTTL = false
+	b.ttlOffs = nil
 	return b
 }
 
@@ -56,6 +65,15 @@ func (b *builder) uint16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf
 func (b *builder) uint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
 func (b *builder) bytes(p []byte)  { b.buf = append(b.buf, p...) }
 func (b *builder) str(s string)    { b.buf = append(b.buf, s...) }
+
+// rrTTL writes an RR TTL field, recording its message-relative offset when
+// TTL recording is on.
+func (b *builder) rrTTL(v uint32) {
+	if b.recordTTL {
+		b.ttlOffs = append(b.ttlOffs, uint16(len(b.buf)-b.base))
+	}
+	b.uint32(v)
+}
 
 // beginLength16 reserves a 16-bit length slot (RDLENGTH, OPTION-LENGTH) and
 // returns its position for endLength16.
@@ -247,14 +265,14 @@ func decodeNameAt(msg []byte, off int) (Name, int, error) {
 func decodeNamePlain(msg []byte, off int) (Name, int, bool) {
 	start := off
 	wireLen := 1
-	total := 0 // presentation length: label bytes plus one dot per label
+	empty := true
 	for {
 		if off >= len(msg) {
 			return "", 0, false
 		}
 		c := msg[off]
 		if c == 0 {
-			if total == 0 {
+			if empty {
 				return Root, off + 1, true
 			}
 			break
@@ -272,10 +290,13 @@ func decodeNamePlain(msg []byte, off int) (Name, int, bool) {
 				return "", 0, false
 			}
 		}
-		total += l + 1
+		empty = false
 		off += 1 + l
 	}
-	out := make([]byte, 0, total)
+	// Assemble in a stack scratch so the only heap allocation is the final
+	// string conversion (this sits on the wire cache's per-hit alloc budget).
+	var scratch [MaxNameLength]byte
+	out := scratch[:0]
 	for o := start; ; {
 		l := int(msg[o])
 		if l == 0 {

@@ -13,7 +13,11 @@ type OptionCode uint16
 const (
 	OptionCodeNSID   OptionCode = 3
 	OptionCodeCookie OptionCode = 10
-	OptionCodeEDE    OptionCode = 15
+	// OptionCodeTCPKeepalive is edns-tcp-keepalive (RFC 7828 §3): a server
+	// advertises how long it will keep an idle TCP connection open, in units
+	// of 100 milliseconds; clients send it empty to signal support.
+	OptionCodeTCPKeepalive OptionCode = 11
+	OptionCodeEDE          OptionCode = 15
 	// OptionCodeReportChannel advertises a DNS Error Reporting agent
 	// domain (RFC 9567, the draft cited by the paper's §2).
 	OptionCodeReportChannel OptionCode = 18
@@ -25,6 +29,8 @@ func (c OptionCode) String() string {
 		return "NSID"
 	case OptionCodeCookie:
 		return "COOKIE"
+	case OptionCodeTCPKeepalive:
+		return "TCP-KEEPALIVE"
 	case OptionCodeEDE:
 		return "EDE"
 	case OptionCodeReportChannel:
@@ -77,6 +83,30 @@ func (o ReportChannelOption) encodeOption(b *builder) { b.name(o.AgentDomain, fa
 
 func (o ReportChannelOption) String() string {
 	return fmt.Sprintf("REPORT-CHANNEL %s", o.AgentDomain)
+}
+
+// TCPKeepaliveOption is edns-tcp-keepalive (RFC 7828 §3.1). In queries the
+// TIMEOUT is omitted (HasTimeout false); in responses the server supplies an
+// idle timeout in units of 100 milliseconds.
+type TCPKeepaliveOption struct {
+	HasTimeout bool
+	Timeout    uint16 // idle timeout, 100ms units
+}
+
+// Code implements Option.
+func (TCPKeepaliveOption) Code() OptionCode { return OptionCodeTCPKeepalive }
+
+func (o TCPKeepaliveOption) encodeOption(b *builder) {
+	if o.HasTimeout {
+		b.uint16(o.Timeout)
+	}
+}
+
+func (o TCPKeepaliveOption) String() string {
+	if !o.HasTimeout {
+		return "TCP-KEEPALIVE"
+	}
+	return fmt.Sprintf("TCP-KEEPALIVE %dms", uint32(o.Timeout)*100)
 }
 
 // RawOption carries an option this package does not model.
@@ -188,6 +218,18 @@ func decodeOptions(p *parser, end int) ([]Option, error) {
 				return nil, fmt.Errorf("dnswire: bad REPORT-CHANNEL option: %w", err)
 			}
 			opts = append(opts, ReportChannelOption{AgentDomain: name})
+		case OptionCodeTCPKeepalive:
+			switch len(data) {
+			case 0:
+				opts = append(opts, TCPKeepaliveOption{})
+			case 2:
+				opts = append(opts, TCPKeepaliveOption{
+					HasTimeout: true,
+					Timeout:    uint16(data[0])<<8 | uint16(data[1]),
+				})
+			default:
+				return nil, fmt.Errorf("dnswire: TCP-KEEPALIVE option must be 0 or 2 octets, got %d", len(data))
+			}
 		case OptionCodeEDE:
 			if len(data) < 2 {
 				return nil, fmt.Errorf("dnswire: EDE option shorter than 2 octets")

@@ -119,12 +119,38 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) { return m.pack(true, b
 // measurements and canonical encodings).
 func (m *Message) PackNoCompress() ([]byte, error) { return m.pack(false, nil) }
 
+// AppendPackTTLOffsets packs like AppendPack while also recording the
+// message-relative byte offset of every RR TTL field (answer, authority,
+// additional — but not the OPT pseudo-RR, whose TTL carries flags). The
+// offsets are appended to offs (which may be nil) and returned with the
+// wire. The frontend's wire cache stores them next to the packed response
+// so cache hits can decay TTLs in place without re-packing.
+func (m *Message) AppendPackTTLOffsets(buf []byte, offs []uint16) ([]byte, []uint16, error) {
+	if m.RCode > 0xF && m.OPT == nil {
+		return nil, offs, ErrExtendedRCodeNoOPT
+	}
+	b := newBuilder(true, buf)
+	b.recordTTL = true
+	b.ttlOffs = offs[:0]
+	m.encodeTo(b)
+	offs = b.ttlOffs
+	b.ttlOffs = nil
+	return b.release(), offs, nil
+}
+
 func (m *Message) pack(compress bool, buf []byte) ([]byte, error) {
-	rcode := m.RCode
-	if rcode > 0xF && m.OPT == nil {
+	if m.RCode > 0xF && m.OPT == nil {
 		return nil, ErrExtendedRCodeNoOPT
 	}
 	b := newBuilder(compress, buf)
+	m.encodeTo(b)
+	return b.release(), nil
+}
+
+// encodeTo appends the full wire encoding of m to b. The caller has already
+// validated that an extended RCODE has an OPT to carry its upper bits.
+func (m *Message) encodeTo(b *builder) {
+	rcode := m.RCode
 
 	var flags uint16
 	if m.Response {
@@ -190,7 +216,6 @@ func (m *Message) pack(compress bool, buf []byte) ([]byte, error) {
 		o.encode(b)
 		b.endLength16(at)
 	}
-	return b.release(), nil
 }
 
 // Unpack parses a wire-format DNS message. The result never aliases data:

@@ -39,7 +39,7 @@ func (r RR) encode(b *builder) {
 	b.name(r.Name, true)
 	b.uint16(uint16(r.Type()))
 	b.uint16(uint16(r.Class))
-	b.uint32(r.TTL)
+	b.rrTTL(r.TTL)
 	at := b.beginLength16()
 	r.Data.encode(b)
 	b.endLength16(at)

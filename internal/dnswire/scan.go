@@ -1,0 +1,92 @@
+package dnswire
+
+import "encoding/binary"
+
+// WireQuery is the compatibility-relevant shape of a simple query datagram,
+// extracted without building a Message. It exists for the serving fast
+// path: the frontend's wire cache answers a WireQuery by patching a
+// pre-packed response, so the scan must capture exactly the fields that
+// influence the reply (ID and RD are patched in; CD, DO, and the question
+// tuple select the cached wire; HasEDNS selects the variant with or without
+// an OPT; UDPSize bounds the response size).
+type WireQuery struct {
+	ID      uint16
+	RD      bool
+	CD      bool
+	DO      bool
+	HasEDNS bool
+	UDPSize uint16
+	Name    Name
+	Type    Type
+	Class   Class
+}
+
+// ScanQuery extracts a WireQuery from a raw datagram. ok=false means the
+// datagram is not a plain single-question query — compressed or escaped
+// qname, non-QUERY opcode, extra sections, EDNS options, nonzero EDNS
+// version, or trailing bytes — and the caller must fall back to Unpack and
+// the full serving path. The scan is deliberately stricter than Unpack:
+// anything it accepts, Unpack accepts with an identical interpretation, so
+// a wire-cache answer is always interchangeable with a slow-path one.
+//
+// The only allocation is the canonical Name string (needed as a cache key).
+func ScanQuery(data []byte) (WireQuery, bool) {
+	var q WireQuery
+	if len(data) < 12 {
+		return q, false
+	}
+	flags := binary.BigEndian.Uint16(data[2:])
+	// QR must be clear and the opcode QUERY; only RD, CD, and AD (which a
+	// reply does not echo) may be set. Everything else — TC, RA, Z, a
+	// nonzero RCODE in a query — goes to the slow path.
+	if flags&^uint16(flagRD|flagCD|flagAD) != 0 {
+		return q, false
+	}
+	qd := binary.BigEndian.Uint16(data[4:])
+	an := binary.BigEndian.Uint16(data[6:])
+	ns := binary.BigEndian.Uint16(data[8:])
+	ar := binary.BigEndian.Uint16(data[10:])
+	if qd != 1 || an != 0 || ns != 0 || ar > 1 {
+		return q, false
+	}
+	name, off, ok := decodeNamePlain(data, 12)
+	if !ok {
+		return q, false
+	}
+	if off+4 > len(data) {
+		return q, false
+	}
+	q.Type = Type(binary.BigEndian.Uint16(data[off:]))
+	q.Class = Class(binary.BigEndian.Uint16(data[off+2:]))
+	off += 4
+	if ar == 1 {
+		// The lone additional record must be a well-formed OPT: root owner,
+		// EDNS version 0, no extended-RCODE bits, and empty RDATA (any
+		// options — cookies, keepalive — take the full parsing path).
+		if off+11 > len(data) || data[off] != 0 {
+			return q, false
+		}
+		if Type(binary.BigEndian.Uint16(data[off+1:])) != TypeOPT {
+			return q, false
+		}
+		q.UDPSize = binary.BigEndian.Uint16(data[off+3:])
+		ttl := binary.BigEndian.Uint32(data[off+5:])
+		if ttl&^uint32(1<<15) != 0 {
+			return q, false
+		}
+		q.DO = ttl&(1<<15) != 0
+		if binary.BigEndian.Uint16(data[off+9:]) != 0 {
+			return q, false
+		}
+		off += 11
+		q.HasEDNS = true
+	}
+	if off != len(data) {
+		return q, false
+	}
+	q.ID = binary.BigEndian.Uint16(data)
+	q.RD = flags&flagRD != 0
+	q.CD = flags&flagCD != 0
+	q.Name = name
+	return q, true
+}

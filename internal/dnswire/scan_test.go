@@ -1,0 +1,137 @@
+package dnswire
+
+import (
+	"testing"
+)
+
+func scanProbe(t *testing.T, m *Message) ([]byte, WireQuery, bool) {
+	t.Helper()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	q, ok := ScanQuery(wire)
+	return wire, q, ok
+}
+
+func TestScanQueryAcceptsPlainQueries(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Message
+	}{
+		{"bare query", &Message{ID: 1, RecursionDesired: true,
+			Question: []Question{{Name: "example.com.", Type: TypeA, Class: ClassIN}}}},
+		{"edns do", NewQuery(0xBEEF, "www.example.com.", TypeAAAA)},
+		{"edns no-do cd", &Message{ID: 9, CheckingDisabled: true,
+			Question: []Question{{Name: "cd.example.com.", Type: TypeTXT, Class: ClassIN}},
+			OPT:      &OPT{UDPSize: 4096}}},
+		{"root qname", &Message{ID: 2,
+			Question: []Question{{Name: ".", Type: TypeNS, Class: ClassIN}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire, got, ok := scanProbe(t, tc.m)
+			if !ok {
+				t.Fatalf("ScanQuery rejected a plain query")
+			}
+			// The scan must agree with the full parser on every field.
+			ref, err := Unpack(wire)
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			if got.ID != ref.ID || got.RD != ref.RecursionDesired || got.CD != ref.CheckingDisabled {
+				t.Errorf("header mismatch: scan %+v vs parsed %+v", got, ref)
+			}
+			if got.Name != ref.Question[0].Name || got.Type != ref.Question[0].Type || got.Class != ref.Question[0].Class {
+				t.Errorf("question mismatch: scan %+v vs parsed %+v", got, ref.Question[0])
+			}
+			if got.HasEDNS != (ref.OPT != nil) || got.DO != ref.DO() {
+				t.Errorf("EDNS mismatch: scan %+v vs OPT %+v", got, ref.OPT)
+			}
+			if ref.OPT != nil && got.UDPSize != ref.OPT.UDPSize {
+				t.Errorf("UDPSize = %d, want %d", got.UDPSize, ref.OPT.UDPSize)
+			}
+		})
+	}
+}
+
+func TestScanQueryRejects(t *testing.T) {
+	base := func() *Message { return NewQuery(7, "example.com.", TypeA) }
+	cases := []struct {
+		name   string
+		mangle func() []byte
+	}{
+		{"response bit", func() []byte {
+			m := base()
+			m.Response = true
+			w, _ := m.Pack()
+			return w
+		}},
+		{"non-query opcode", func() []byte {
+			m := base()
+			m.Opcode = OpcodeUpdate
+			w, _ := m.Pack()
+			return w
+		}},
+		{"two questions", func() []byte {
+			m := base()
+			m.Question = append(m.Question, Question{Name: "b.example.com.", Type: TypeA, Class: ClassIN})
+			w, _ := m.Pack()
+			return w
+		}},
+		{"answer present", func() []byte {
+			m := base()
+			m.Answer = []RR{{Name: "example.com.", Class: ClassIN, TTL: 1, Data: TXT{Strings: []string{"x"}}}}
+			w, _ := m.Pack()
+			return w
+		}},
+		{"edns option present", func() []byte {
+			m := base()
+			m.OPT.Options = []Option{TCPKeepaliveOption{}}
+			w, _ := m.Pack()
+			return w
+		}},
+		{"nonzero edns version", func() []byte {
+			m := base()
+			m.OPT.Version = 1
+			w, _ := m.Pack()
+			return w
+		}},
+		{"uppercase qname", func() []byte {
+			m := base()
+			w, _ := m.Pack()
+			w[12+1] = 'E' // first label byte of "example"
+			return w
+		}},
+		{"trailing bytes", func() []byte {
+			m := base()
+			w, _ := m.Pack()
+			return append(w, 0)
+		}},
+		{"truncated header", func() []byte { return make([]byte, 11) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok := ScanQuery(tc.mangle()); ok {
+				t.Errorf("ScanQuery accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestScanQueryAllocs pins the scan to its single allocation: the canonical
+// qname string used as the cache key.
+func TestScanQueryAllocs(t *testing.T) {
+	wire, err := NewQuery(3, "alloc.example.com.", TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := ScanQuery(wire); !ok {
+			t.Fatal("scan rejected")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("ScanQuery allocates %.1f times per call, want <= 1", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package frontend
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
@@ -58,6 +59,12 @@ type entry struct {
 	isError   bool
 	storedAt  time.Time
 	expiresAt time.Time
+
+	// wires holds the pre-packed response images for the wire fast path,
+	// one per EDNS class (wirePlain / wireEDNS), captured lazily from the
+	// first slow-path reply of each class. nil until captured; immutable
+	// once published. See wire.go.
+	wires [2]atomic.Pointer[wireVariant]
 }
 
 // lruItem is what the per-shard LRU list holds.

@@ -388,6 +388,9 @@ func (f *Frontend) reply(q *dnswire.Message, k key, sv *served, now time.Time) *
 		}
 		f.addEDE(out, uint16(ede.CodeCachedError), strconv.FormatInt(retry, 10))
 	}
+	if sv.mode == modeFresh && !e.isError {
+		f.maybeCaptureWire(e, out, now)
+	}
 	return out
 }
 

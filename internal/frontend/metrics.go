@@ -20,6 +20,7 @@ const edeCodeSlots = 31
 type Metrics struct {
 	queries       atomic.Uint64
 	hits          atomic.Uint64
+	wireHits      atomic.Uint64
 	misses        atomic.Uint64
 	staleServes   atomic.Uint64
 	staleNXServes atomic.Uint64
@@ -44,6 +45,9 @@ type Snapshot struct {
 	// Hits counts answers served from a fresh cache entry (including
 	// fresh negative and error-cache entries).
 	Hits uint64
+	// WireHits counts the subset of Hits answered by the wire fast path
+	// (pre-packed bytes patched in place, no message rebuild).
+	WireHits uint64
 	// Misses counts queries that triggered an upstream recursion.
 	Misses uint64
 	// StaleServes / StaleNXServes count RFC 8767 answers (EDE 3 / EDE 19).
@@ -101,6 +105,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Queries:           m.queries.Load(),
 		Hits:              m.hits.Load(),
+		WireHits:          m.wireHits.Load(),
 		Misses:            m.misses.Load(),
 		StaleServes:       m.staleServes.Load(),
 		StaleNXServes:     m.staleNXServes.Load(),
@@ -134,6 +139,7 @@ func (s Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "queries            %d\n", s.Queries)
 	fmt.Fprintf(&b, "cache hits         %d\n", s.Hits)
+	fmt.Fprintf(&b, "  wire fast path   %d\n", s.WireHits)
 	fmt.Fprintf(&b, "cache misses       %d\n", s.Misses)
 	fmt.Fprintf(&b, "stale answers      %d\n", s.StaleServes)
 	fmt.Fprintf(&b, "stale nxdomain     %d\n", s.StaleNXServes)

@@ -19,6 +19,7 @@ func (m *Metrics) Register(reg *telemetry.Registry) {
 			load, telemetry.L("event", event))
 	}
 	cacheEvent("hit", m.hits.Load)
+	cacheEvent("wire_hit", m.wireHits.Load)
 	cacheEvent("miss", m.misses.Load)
 	cacheEvent("stale_serve", m.staleServes.Load)
 	cacheEvent("stale_nx_serve", m.staleNXServes.Load)

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// respKeepalive extracts the edns-tcp-keepalive TIMEOUT from a response.
+func respKeepalive(m *dnswire.Message) (uint16, bool) {
+	if m.OPT == nil {
+		return 0, false
+	}
+	for _, o := range m.OPT.Options {
+		if ka, ok := o.(dnswire.TCPKeepaliveOption); ok && ka.HasTimeout {
+			return ka.Timeout, true
+		}
+	}
+	return 0, false
+}
+
+// TestTCPKeepalive: the server advertises its configured idle timeout on
+// stream responses, and a RequestKeepalive client stretches its own idle
+// timer to match — the connection outlives the client-side default.
+func TestTCPKeepalive(t *testing.T) {
+	addr, _, _, _ := startTCP(t, Config{
+		Handler:      echoHandler(nil),
+		TCPKeepalive: 2 * time.Second,
+	})
+	c := &StreamClient{Addr: addr, IdleTimeout: 50 * time.Millisecond, RequestKeepalive: true}
+	defer c.Close()
+
+	ctx := context.Background()
+	q := dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA)
+	resp, err := c.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OPT.Options) != 0 {
+		t.Error("Query mutated the caller's message to add the keepalive option")
+	}
+	if units, ok := respKeepalive(resp); !ok || units != 20 {
+		t.Fatalf("response keepalive = %d/%t, want TIMEOUT 20 (2s in 100ms units)", units, ok)
+	}
+	if d, ok := c.ServerIdleTimeout(); !ok || d != 2*time.Second {
+		t.Fatalf("ServerIdleTimeout = %v/%t, want 2s", d, ok)
+	}
+
+	// Well past the 50ms configured idle: the advertised 2s keeps the
+	// connection cached, so the second query must not redial.
+	time.Sleep(200 * time.Millisecond)
+	if _, err := c.Query(ctx, dnswire.NewQuery(2, dnswire.MustName("b.example"), dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Dials(); got != 1 {
+		t.Errorf("dials = %d, want 1 (keepalive must stretch the idle timer)", got)
+	}
+}
+
+// TestTCPKeepaliveNotAdvertised: without TCPKeepalive configured the server
+// stays silent, and the client falls back to its own idle policy.
+func TestTCPKeepaliveNotAdvertised(t *testing.T) {
+	addr, _, _, _ := startTCP(t, Config{Handler: echoHandler(nil)})
+	c := &StreamClient{Addr: addr, IdleTimeout: 50 * time.Millisecond, RequestKeepalive: true}
+	defer c.Close()
+
+	ctx := context.Background()
+	resp, err := c.Query(ctx, dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := respKeepalive(resp); ok {
+		t.Error("server advertised keepalive without TCPKeepalive configured")
+	}
+	if _, ok := c.ServerIdleTimeout(); ok {
+		t.Error("client recorded a keepalive nobody advertised")
+	}
+	time.Sleep(200 * time.Millisecond)
+	if _, err := c.Query(ctx, dnswire.NewQuery(2, dnswire.MustName("b.example"), dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Dials(); got != 2 {
+		t.Errorf("dials = %d, want 2 (no advertisement, client idle policy rules)", got)
+	}
+}
+
+// TestTCPKeepaliveNeverOnUDP: RFC 7828 §3.4 forbids the option over UDP
+// even when the server is configured to advertise it on streams.
+func TestTCPKeepaliveNeverOnUDP(t *testing.T) {
+	addr, _ := startUDP(t, Config{
+		Handler:      bigAnswerHandler(1, ""),
+		TCPKeepalive: 2 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := authserver.QueryUDP(ctx, addr, dnswire.NewQuery(1, dnswire.MustName("a.example"), dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := respKeepalive(resp); ok {
+		t.Error("edns-tcp-keepalive leaked onto a UDP response")
+	}
+}

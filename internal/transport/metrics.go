@@ -17,6 +17,13 @@ type metrics struct {
 	// truncations counts UDP responses cut down to the client's EDNS
 	// buffer size (TC=1 sent instead of an oversized datagram).
 	truncations *telemetry.Counter
+	// wireServes counts UDP responses answered by the wire fast path
+	// (pre-packed cache bytes patched in place, never touching Handler).
+	wireServes *telemetry.Counter
+	// batchRounds / batchDatagrams measure UDP read batching: datagrams
+	// per round is their ratio (1.0 means no batching benefit).
+	batchRounds    *telemetry.Counter
+	batchDatagrams *telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -46,5 +53,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 	m.truncations = reg.Counter("edelab_frontdoor_truncations_total",
 		"UDP responses truncated to the client's advertised EDNS buffer size.",
 		telemetry.L("transport", TransportUDP))
+	m.wireServes = reg.Counter("edelab_frontdoor_wire_serves_total",
+		"UDP responses served from pre-packed wire-cache bytes.",
+		telemetry.L("transport", TransportUDP))
+	m.batchRounds = reg.Counter("edelab_frontdoor_udp_batch_rounds_total",
+		"UDP receive rounds (one recvmmsg or ReadFrom call each).")
+	m.batchDatagrams = reg.Counter("edelab_frontdoor_udp_batch_datagrams_total",
+		"Datagrams received across all UDP receive rounds.")
 	return m
 }

@@ -1,0 +1,51 @@
+//go:build linux
+
+package transport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, which the syscall package does not export.
+const soReusePort = 0xf
+
+// ListenUDPReusePort opens n UDP sockets bound to the same address with
+// SO_REUSEPORT, so the kernel hashes incoming datagrams across n
+// independent read loops (one ServeUDP per conn). With n == 1 it is a
+// plain ListenPacket. The caller closes every returned conn.
+func ListenUDPReusePort(ctx context.Context, address string, n int) ([]net.PacketConn, error) {
+	if n < 1 {
+		n = 1
+	}
+	lc := net.ListenConfig{}
+	if n > 1 {
+		lc.Control = func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		}
+	}
+	conns := make([]net.PacketConn, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(ctx, "udp", address)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, pc)
+		// A ":0" request resolves on the first bind; the remaining shards
+		// must join that port, not pick their own.
+		if i == 0 {
+			address = pc.LocalAddr().String()
+		}
+	}
+	return conns, nil
+}

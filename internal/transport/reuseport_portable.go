@@ -1,0 +1,22 @@
+//go:build !linux
+
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+)
+
+// ListenUDPReusePort without SO_REUSEPORT support: a single listener is
+// fine, sharding is refused.
+func ListenUDPReusePort(ctx context.Context, address string, n int) ([]net.PacketConn, error) {
+	if n > 1 {
+		return nil, errors.New("transport: SO_REUSEPORT sharding requires linux")
+	}
+	pc, err := (&net.ListenConfig{}).ListenPacket(ctx, "udp", address)
+	if err != nil {
+		return nil, err
+	}
+	return []net.PacketConn{pc}, nil
+}

@@ -167,9 +167,34 @@ func (s *Server) serveStream(ctx context.Context, conn net.Conn, transport strin
 	}
 }
 
+// advertiseKeepalive returns a copy of resp whose OPT carries an
+// edns-tcp-keepalive TIMEOUT of d (RFC 7828 §3.3.2), leaving the original
+// untouched — resp's OPT may be shared with a cache entry.
+func advertiseKeepalive(resp *dnswire.Message, d time.Duration) *dnswire.Message {
+	units := d / (100 * time.Millisecond)
+	if units > 0xFFFF {
+		units = 0xFFFF
+	}
+	if units < 1 {
+		units = 1
+	}
+	out := *resp
+	opt := *resp.OPT
+	opt.Options = append(opt.Options[:len(opt.Options):len(opt.Options)],
+		dnswire.TCPKeepaliveOption{HasTimeout: true, Timeout: uint16(units)})
+	out.OPT = &opt
+	return &out
+}
+
 // writeStream serializes resp and writes it under the connection's write
-// mutex with a bounded deadline.
+// mutex with a bounded deadline. Stream responses to EDNS queries advertise
+// the configured edns-tcp-keepalive timeout; RFC 7828 §3.4 forbids the
+// option over UDP, and the option rides in OPT so non-EDNS responses cannot
+// carry it.
 func (s *Server) writeStream(conn net.Conn, wmu *sync.Mutex, transport string, resp *dnswire.Message) {
+	if s.cfg.TCPKeepalive > 0 && resp.OPT != nil {
+		resp = advertiseKeepalive(resp, s.cfg.TCPKeepalive)
+	}
 	wire, err := resp.AppendStream(nil)
 	if err != nil {
 		s.m.errors[transport].Inc()

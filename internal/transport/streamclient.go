@@ -43,12 +43,18 @@ type StreamClient struct {
 	// without a query. Zero means DefaultClientIdleTimeout; negative
 	// disables the timer (the connection lives until Close or error).
 	IdleTimeout time.Duration
+	// RequestKeepalive adds an empty edns-tcp-keepalive option (RFC 7828
+	// §3.2.1) to EDNS queries. When the server answers with a TIMEOUT, the
+	// client stretches its idle timer up to the advertised value, so the
+	// connection stays cached as long as the server promises to hold it.
+	RequestKeepalive bool
 
-	mu     sync.Mutex
-	conn   net.Conn
-	timer  *time.Timer
-	closed bool
-	dials  atomic.Uint64
+	mu        sync.Mutex
+	conn      net.Conn
+	timer     *time.Timer
+	closed    bool
+	keepalive time.Duration // server-advertised idle timeout; -1 = close now
+	dials     atomic.Uint64
 }
 
 // Query sends q over the cached connection — dialing if there is none —
@@ -62,6 +68,10 @@ func (c *StreamClient) Query(ctx context.Context, q *dnswire.Message) (*dnswire.
 	}
 	if c.timer != nil {
 		c.timer.Stop()
+	}
+
+	if c.RequestKeepalive && q.OPT != nil {
+		q = requestKeepalive(q)
 	}
 
 	reused := c.conn != nil
@@ -83,8 +93,62 @@ func (c *StreamClient) Query(ctx context.Context, q *dnswire.Message) (*dnswire.
 		c.dropLocked()
 		return nil, err
 	}
+	c.noteKeepaliveLocked(resp)
+	if c.keepalive < 0 {
+		// TIMEOUT 0: the server wants the connection back immediately
+		// (RFC 7828 §3.2.2); honour it instead of idling.
+		c.dropLocked()
+		return resp, nil
+	}
 	c.armIdleLocked()
 	return resp, nil
+}
+
+// requestKeepalive returns a copy of q whose OPT carries the empty
+// edns-tcp-keepalive option, leaving the caller's message untouched.
+func requestKeepalive(q *dnswire.Message) *dnswire.Message {
+	for _, o := range q.OPT.Options {
+		if o.Code() == dnswire.OptionCodeTCPKeepalive {
+			return q
+		}
+	}
+	out := *q
+	opt := *q.OPT
+	opt.Options = append(opt.Options[:len(opt.Options):len(opt.Options)],
+		dnswire.TCPKeepaliveOption{})
+	out.OPT = &opt
+	return &out
+}
+
+// noteKeepaliveLocked records the server's advertised edns-tcp-keepalive
+// TIMEOUT, if the response carries one.
+func (c *StreamClient) noteKeepaliveLocked(resp *dnswire.Message) {
+	if resp.OPT == nil {
+		return
+	}
+	for _, o := range resp.OPT.Options {
+		ka, ok := o.(dnswire.TCPKeepaliveOption)
+		if !ok || !ka.HasTimeout {
+			continue
+		}
+		if ka.Timeout == 0 {
+			c.keepalive = -1
+			return
+		}
+		c.keepalive = time.Duration(ka.Timeout) * 100 * time.Millisecond
+		return
+	}
+}
+
+// ServerIdleTimeout reports the idle timeout the server advertised via
+// edns-tcp-keepalive on this connection, if any.
+func (c *StreamClient) ServerIdleTimeout() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.keepalive <= 0 {
+		return 0, false
+	}
+	return c.keepalive, true
 }
 
 // Dials reports how many connections the client has opened — the number a
@@ -134,9 +198,13 @@ func (c *StreamClient) dropLocked() {
 		c.conn.Close()
 		c.conn = nil
 	}
+	c.keepalive = 0 // the advertisement was scoped to that connection
 }
 
 // armIdleLocked (re)starts the idle-close timer after a completed exchange.
+// A server keepalive advertisement stretches the timer: the whole point of
+// RFC 7828 is that the client no longer has to guess the server's idle
+// policy, so the configured client-side guess only acts as a floor.
 func (c *StreamClient) armIdleLocked() {
 	if c.IdleTimeout < 0 {
 		return
@@ -144,6 +212,9 @@ func (c *StreamClient) armIdleLocked() {
 	d := c.IdleTimeout
 	if d == 0 {
 		d = DefaultClientIdleTimeout
+	}
+	if c.keepalive > d {
+		d = c.keepalive
 	}
 	if c.timer != nil {
 		c.timer.Reset(d)

@@ -23,9 +23,18 @@ const (
 	DefaultMaxConns       = 1024
 	DefaultMaxPipeline    = 64
 	DefaultMaxUDPInflight = 512
+	DefaultUDPWorkers     = 8
 	DefaultIdleTimeout    = 30 * time.Second
 	DefaultWriteTimeout   = 5 * time.Second
 )
+
+// WireServer is the optional serving fast path: a handler that can answer
+// a scanned query straight from pre-packed response bytes, appended to dst
+// within limit. ok=false sends the query down the full Handler path. The
+// frontend's wire cache implements this.
+type WireServer interface {
+	ServeWire(q dnswire.WireQuery, limit int, dst []byte) ([]byte, bool)
+}
 
 // Config configures a front-door Server.
 type Config struct {
@@ -45,6 +54,22 @@ type Config struct {
 	// excess datagrams are answered SERVFAIL + EDE 23.
 	MaxUDPInflight int
 
+	// UDPWorkers sizes the fixed goroutine pool draining slow-path UDP
+	// queries (wire fast-path hits are answered inline by the read loop).
+	UDPWorkers int
+
+	// Wire, when set, answers compatible queries from pre-packed response
+	// bytes before Handler is consulted. When nil, NewServer uses Handler
+	// itself if it implements WireServer; DisableWire forces every query
+	// down the full path (for A/B measurement and ablation).
+	Wire        WireServer
+	DisableWire bool
+
+	// TCPKeepalive, when positive, is the idle timeout advertised to EDNS
+	// clients on stream transports via edns-tcp-keepalive (RFC 7828),
+	// rounded down to 100ms units. Zero advertises nothing.
+	TCPKeepalive time.Duration
+
 	// IdleTimeout closes a stream connection with no complete query for
 	// this long, and is the HTTP server's idle timeout for DoH.
 	IdleTimeout time.Duration
@@ -61,8 +86,9 @@ type Config struct {
 // Serve* methods block until their context is cancelled or the listener
 // fails, and drain in-flight queries before returning.
 type Server struct {
-	cfg Config
-	m   *metrics
+	cfg  Config
+	wire WireServer // nil when the wire fast path is off
+	m    *metrics
 }
 
 // NewServer builds a Server, applying defaults for zero Config fields.
@@ -79,13 +105,25 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxUDPInflight <= 0 {
 		cfg.MaxUDPInflight = DefaultMaxUDPInflight
 	}
+	if cfg.UDPWorkers <= 0 {
+		cfg.UDPWorkers = DefaultUDPWorkers
+	}
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
 	}
-	return &Server{cfg: cfg, m: newMetrics(cfg.Registry)}
+	wire := cfg.Wire
+	if wire == nil {
+		if ws, ok := cfg.Handler.(WireServer); ok {
+			wire = ws
+		}
+	}
+	if cfg.DisableWire {
+		wire = nil
+	}
+	return &Server{cfg: cfg, wire: wire, m: newMetrics(cfg.Registry)}
 }
 
 // respond runs one query through the handler. A handler error or nil

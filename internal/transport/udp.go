@@ -16,16 +16,53 @@ const maxUDPPayload = 0xFFFF
 // floor for clients that send no OPT and for OPTs advertising less.
 const minUDPPayload = 512
 
+// udpBatchSize is how many datagrams one recvmmsg/sendmmsg round moves on
+// platforms with batched I/O; elsewhere the loop degrades to one datagram
+// per round.
+const udpBatchSize = 16
+
 var udpBufPool = sync.Pool{
 	New: func() any { b := make([]byte, maxUDPPayload); return &b },
 }
 
+// udpIO abstracts the datagram I/O under the UDP read loop: a batched
+// recvmmsg/sendmmsg implementation on Linux (udp_linux.go) and a portable
+// single-datagram one everywhere else. An implementation owns a fixed set
+// of receive slots, reused on every recv — slot contents are only valid
+// until the next recv call. It is driven by one goroutine (the read loop);
+// only the slow-path workers write to the connection independently.
+type udpIO interface {
+	// recv blocks until at least one datagram arrives, fills the receive
+	// slots, and returns how many.
+	recv() (int, error)
+	// in returns the bytes of received datagram i.
+	in(i int) []byte
+	// addr materializes the sender address of datagram i (allocates, so
+	// the fast path never calls it).
+	addr(i int) net.Addr
+	// respBuf returns slot i's response buffer: length 0, fixed capacity.
+	respBuf(i int) []byte
+	// queue arms wire — which must alias respBuf(i)'s array — as the
+	// reply to datagram i's sender.
+	queue(i int, wire []byte)
+	// flush sends every queued reply and clears the queue.
+	flush() error
+}
+
+// udpJob is one slow-path query handed to the worker pool.
+type udpJob struct {
+	q    *dnswire.Message
+	addr net.Addr
+}
+
 // ServeUDP serves queries from conn until ctx is cancelled or the
-// connection fails. Datagrams are handled concurrently up to
-// MaxUDPInflight; excess queries are shed with SERVFAIL + EDE 23.
-// Responses never exceed the client's advertised EDNS buffer size: an
-// oversized answer is sent with TC=1 and an emptied answer section
-// instead (see packUDPResponse).
+// connection fails. Compatible queries are answered inline from the wire
+// fast path (pre-packed cache bytes, batched sends); everything else is
+// parsed and fed to a fixed pool of UDPWorkers goroutines through a ring
+// bounded by MaxUDPInflight — excess queries are shed with SERVFAIL +
+// EDE 23. Responses never exceed the client's advertised EDNS buffer
+// size: an oversized answer is sent with TC=1 and an emptied answer
+// section instead (see packUDPResponse).
 func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 	done := make(chan struct{})
 	defer close(done)
@@ -38,47 +75,107 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 	}()
 
 	sem := make(chan struct{}, s.cfg.MaxUDPInflight)
+	// jobs is the ring feeding the worker pool. Its capacity equals the
+	// admission bound and a sem slot is always acquired before enqueueing,
+	// so the send in serveDatagram can never block the read loop.
+	jobs := make(chan udpJob, s.cfg.MaxUDPInflight)
 	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.UDPWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if resp := s.respond(ctx, TransportUDP, j.q); resp != nil {
+					s.writeUDP(conn, j.addr, resp, j.q)
+				}
+				<-sem
+			}
+		}()
+	}
 	defer wg.Wait()
+	defer close(jobs)
 
+	io := newUDPIO(conn, udpBatchSize)
 	for {
-		bufp := udpBufPool.Get().(*[]byte)
-		n, addr, err := conn.ReadFrom(*bufp)
+		n, err := io.recv()
 		if err != nil {
-			udpBufPool.Put(bufp)
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			return err
 		}
-		q, err := dnswire.Unpack((*bufp)[:n])
-		udpBufPool.Put(bufp)
-		if err != nil {
+		s.m.batchRounds.Inc()
+		s.m.batchDatagrams.Add(uint64(n))
+		for i := 0; i < n; i++ {
+			s.serveDatagram(ctx, io, i, conn, sem, jobs)
+		}
+		if err := io.flush(); err != nil && ctx.Err() == nil {
 			s.m.errors[TransportUDP].Inc()
-			continue
 		}
-		s.m.queries[TransportUDP].Inc()
-
-		select {
-		case sem <- struct{}{}:
-		default:
-			s.m.sheds[TransportUDP].Inc()
-			s.writeUDP(conn, addr, shedReply(q, "server overloaded: UDP inflight limit reached"), q)
-			continue
-		}
-		wg.Add(1)
-		go func(q *dnswire.Message, addr net.Addr) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if resp := s.respond(ctx, TransportUDP, q); resp != nil {
-				s.writeUDP(conn, addr, resp, q)
-			}
-		}(q, addr)
 	}
 }
 
+// serveDatagram routes one received datagram: wire fast path, FORMERR for
+// garbage, shed at the admission bound, or the worker ring.
+func (s *Server) serveDatagram(ctx context.Context, io udpIO, i int, conn net.PacketConn, sem chan struct{}, jobs chan udpJob) {
+	data := io.in(i)
+
+	// Wire fast path: a scannable query answered straight from pre-packed
+	// cache bytes, sent in the same batch, zero message building.
+	if s.wire != nil {
+		if wq, ok := dnswire.ScanQuery(data); ok {
+			limit := minUDPPayload
+			if wq.HasEDNS && int(wq.UDPSize) > minUDPPayload {
+				limit = int(wq.UDPSize)
+			}
+			if out, served := s.wire.ServeWire(wq, limit, io.respBuf(i)); served {
+				s.m.queries[TransportUDP].Inc()
+				s.m.wireServes.Inc()
+				io.queue(i, out)
+				return
+			}
+		}
+	}
+
+	q, err := dnswire.Unpack(data)
+	if err != nil {
+		// A datagram we cannot parse still deserves an answer when its ID
+		// is readable: FORMERR with the ID echoed and no OPT (RFC 1035),
+		// so a broken client fails fast instead of timing out.
+		s.m.errors[TransportUDP].Inc()
+		if len(data) >= 2 {
+			io.queue(i, appendFORMERR(io.respBuf(i), data))
+		}
+		return
+	}
+	s.m.queries[TransportUDP].Inc()
+
+	select {
+	case sem <- struct{}{}:
+	default:
+		s.m.sheds[TransportUDP].Inc()
+		s.writeUDP(conn, io.addr(i), shedReply(q, "server overloaded: UDP inflight limit reached"), q)
+		return
+	}
+	jobs <- udpJob{q: q, addr: io.addr(i)}
+}
+
+// appendFORMERR builds the minimal FORMERR for an unparseable datagram:
+// a bare 12-byte header echoing the query ID (plus opcode, RD, and CD when
+// the flag bytes are readable), QR set, RCODE=1, all counts zero.
+func appendFORMERR(dst, q []byte) []byte {
+	dst = append(dst, q[0], q[1])
+	b2 := byte(0x80) // QR
+	b3 := byte(0x01) // RCODE FORMERR
+	if len(q) >= 4 {
+		b2 |= q[2] & 0x79 // echo opcode and RD
+		b3 |= q[3] & 0x10 // echo CD
+	}
+	return append(dst, b2, b3, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
 // writeUDP packs resp within the limit q advertises and sends it. UDPConn
-// is safe for concurrent WriteTo, so handler goroutines write directly.
+// is safe for concurrent WriteTo, so worker goroutines write directly.
 func (s *Server) writeUDP(conn net.PacketConn, addr net.Addr, resp, q *dnswire.Message) {
 	bufp := udpBufPool.Get().(*[]byte)
 	defer udpBufPool.Put(bufp)
@@ -152,4 +249,47 @@ func packUDPResponse(resp *dnswire.Message, limit int, buf []byte) (wire []byte,
 	opt.Options = nil
 	wire, err = trunc.AppendPack(wire[:0])
 	return wire, true, err
+}
+
+// oneIO is the portable single-datagram udpIO, also the fallback when the
+// conn is not a real UDP socket (netsim pipes, test doubles).
+type oneIO struct {
+	conn  net.PacketConn
+	buf   []byte
+	resp  []byte
+	n     int
+	raddr net.Addr
+	out   []byte
+}
+
+func newOneIO(conn net.PacketConn) *oneIO {
+	return &oneIO{
+		conn: conn,
+		buf:  make([]byte, maxUDPPayload),
+		resp: make([]byte, 0, maxUDPPayload),
+	}
+}
+
+func (o *oneIO) recv() (int, error) {
+	o.out = nil
+	n, addr, err := o.conn.ReadFrom(o.buf)
+	if err != nil {
+		return 0, err
+	}
+	o.n, o.raddr = n, addr
+	return 1, nil
+}
+
+func (o *oneIO) in(int) []byte         { return o.buf[:o.n] }
+func (o *oneIO) addr(int) net.Addr     { return o.raddr }
+func (o *oneIO) respBuf(int) []byte    { return o.resp[:0] }
+func (o *oneIO) queue(_ int, w []byte) { o.out = w }
+
+func (o *oneIO) flush() error {
+	if o.out == nil {
+		return nil
+	}
+	_, err := o.conn.WriteTo(o.out, o.raddr)
+	o.out = nil
+	return err
 }

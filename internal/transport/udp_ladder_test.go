@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// ladderResponse builds a reply with n answers and one EDE (code 7) whose
+// EXTRA-TEXT is textLen bytes.
+func ladderResponse(qname string, n, textLen int) *dnswire.Message {
+	q := dnswire.NewQuery(9, dnswire.MustName(qname), dnswire.TypeA)
+	resp := q.Reply()
+	resp.AddEDE(7, strings.Repeat("x", textLen))
+	for i := 0; i < n; i++ {
+		resp.Answer = append(resp.Answer, dnswire.RR{
+			Name: q.Question[0].Name, Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.A{Addr: mustAddr("192.0.2.1")},
+		})
+	}
+	return resp
+}
+
+// TestPackUDPResponseLadder walks every rung of the degrade ladder:
+// fits as-is, TC with emptied sections, TC with EDE EXTRA-TEXT stripped,
+// and TC with all EDNS options stripped. The EDE code must survive every
+// rung that carries options at all, and the result must never exceed the
+// limit once the minimal message fits it.
+func TestPackUDPResponseLadder(t *testing.T) {
+	cases := []struct {
+		rung      string
+		qname     string
+		answers   int
+		textLen   int
+		limit     int
+		truncated bool
+		wantText  bool // EXTRA-TEXT survives
+		wantCode  bool // EDE info-code survives
+	}{
+		// Everything fits: untouched, text and code intact.
+		{"fits", "a.example.", 3, 40, 0xFFFF, false, true, true},
+		// 100 answers blow the limit; the minimal TC message (OPT + full
+		// EDE) fits, so only the sections are emptied.
+		{"tc-empty", "a.example.", 100, 40, 512, true, true, true},
+		// Even the minimal message is over the limit until the 600-byte
+		// EXTRA-TEXT goes; the code stays.
+		{"text-stripped", "a.example.", 1, 600, 512, true, false, true},
+		// 12 header + 15 question + 11 OPT = 38 bytes; the 6-byte code-only
+		// EDE would make 44 > 40, so every option is dropped.
+		{"options-stripped", "x.example.", 1, 600, 40, true, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.rung, func(t *testing.T) {
+			resp := ladderResponse(c.qname, c.answers, c.textLen)
+			wire, truncated, err := packUDPResponse(resp, c.limit, nil)
+			if err != nil {
+				t.Fatalf("pack: %v", err)
+			}
+			if truncated != c.truncated {
+				t.Errorf("truncated = %t, want %t", truncated, c.truncated)
+			}
+			if len(wire) > c.limit {
+				t.Errorf("packed %d bytes, want <= %d", len(wire), c.limit)
+			}
+			m, err := dnswire.Unpack(wire)
+			if err != nil {
+				t.Fatalf("unpack: %v", err)
+			}
+			if m.Truncated != c.truncated {
+				t.Errorf("TC bit = %t, want %t", m.Truncated, c.truncated)
+			}
+			if c.truncated && len(m.Answer)+len(m.Authority)+len(m.Additional) != 0 {
+				t.Errorf("truncated reply kept %d/%d/%d section records, want emptied",
+					len(m.Answer), len(m.Authority), len(m.Additional))
+			}
+			if !c.truncated && len(m.Answer) != c.answers {
+				t.Errorf("answers = %d, want %d", len(m.Answer), c.answers)
+			}
+			if m.OPT == nil {
+				t.Fatal("OPT dropped; EDNS status must survive every rung")
+			}
+			codes := m.EDECodes()
+			if c.wantCode && (len(codes) != 1 || codes[0] != 7) {
+				t.Errorf("EDE codes = %v, want [7]", codes)
+			}
+			if !c.wantCode && len(codes) != 0 {
+				t.Errorf("EDE codes = %v, want none on the final rung", codes)
+			}
+			if edes := m.EDEs(); len(edes) == 1 {
+				if c.wantText && len(edes[0].ExtraText) != c.textLen {
+					t.Errorf("EXTRA-TEXT = %d bytes, want %d", len(edes[0].ExtraText), c.textLen)
+				}
+				if !c.wantText && edes[0].ExtraText != "" {
+					t.Errorf("EXTRA-TEXT survived (%d bytes), want stripped", len(edes[0].ExtraText))
+				}
+			}
+			// The ladder copies; the caller's message must be untouched.
+			if len(resp.Answer) != c.answers || resp.Truncated || len(resp.EDEs()[0].ExtraText) != c.textLen {
+				t.Error("packUDPResponse mutated its input message")
+			}
+		})
+	}
+}
+
+// FuzzPackUDPResponse drives packUDPResponse with arbitrary answer counts,
+// EXTRA-TEXT lengths, and limits, and checks the invariants that hold on
+// every rung: the output always unpacks, it never exceeds any limit a UDP
+// client can actually request (>= 512), truncation empties the sections,
+// and whenever any EDNS option survives it is the original EDE code.
+func FuzzPackUDPResponse(f *testing.F) {
+	f.Add(uint8(3), uint16(40), uint16(0xFFFF))
+	f.Add(uint8(100), uint16(40), uint16(512))
+	f.Add(uint8(1), uint16(600), uint16(512))
+	f.Add(uint8(1), uint16(600), uint16(40))
+	f.Add(uint8(0), uint16(0), uint16(0))
+	f.Fuzz(func(t *testing.T, answers uint8, textLen uint16, limit uint16) {
+		resp := ladderResponse("fuzz.example.", int(answers), int(textLen)%2048)
+		wire, truncated, err := packUDPResponse(resp, int(limit), nil)
+		if err != nil {
+			t.Fatalf("pack: %v", err)
+		}
+		if int(limit) >= minUDPPayload && len(wire) > int(limit) {
+			t.Fatalf("packed %d bytes over the %d limit", len(wire), limit)
+		}
+		m, err := dnswire.Unpack(wire)
+		if err != nil {
+			t.Fatalf("output does not unpack: %v", err)
+		}
+		if m.Truncated != truncated {
+			t.Fatalf("TC bit = %t, reported %t", m.Truncated, truncated)
+		}
+		if truncated && len(m.Answer)+len(m.Authority)+len(m.Additional) != 0 {
+			t.Fatalf("truncated reply kept section records")
+		}
+		if !truncated && len(m.Answer) != int(answers) {
+			t.Fatalf("answers = %d, want %d", len(m.Answer), answers)
+		}
+		if m.OPT == nil {
+			t.Fatal("OPT dropped")
+		}
+		if len(m.OPT.Options) > 0 {
+			if codes := m.EDECodes(); len(codes) != 1 || codes[0] != 7 {
+				t.Fatalf("surviving options lost the EDE code: %v", codes)
+			}
+		}
+	})
+}

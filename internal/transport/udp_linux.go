@@ -1,0 +1,184 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"net"
+	"strconv"
+	"syscall"
+	"unsafe"
+)
+
+// Batched UDP I/O: recvmmsg/sendmmsg move up to udpBatchSize datagrams per
+// syscall, raw (no new dependencies), integrated with the Go netpoller by
+// issuing the syscalls non-blocking under RawConn.Read/Write — EAGAIN
+// parks the goroutine on the poller instead of spinning.
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the received
+// (or sent) byte count, padded to 8-byte alignment.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// sockaddrBuf sizes each per-slot sender-address buffer.
+const sockaddrBuf = syscall.SizeofSockaddrAny
+
+// mmsgIO is the batched udpIO. All receive and response slots are fixed at
+// construction: the kernel scatters one datagram per slot, responses are
+// built in the paired response slots, and one sendmmsg flushes the lot,
+// reusing the received sockaddrs verbatim — the fast path materializes no
+// net.Addr at all.
+type mmsgIO struct {
+	rc    syscall.RawConn
+	batch int
+
+	rhdrs  []mmsghdr
+	riovs  []syscall.Iovec
+	rnames []byte // batch × sockaddrBuf raw sender sockaddrs
+	rbufs  []byte // batch × maxUDPPayload receive slots
+	resps  []byte // batch × maxUDPPayload response slots
+
+	shdrs []mmsghdr
+	siovs []syscall.Iovec
+	nq    int
+}
+
+func newMmsgIO(conn *net.UDPConn, batch int) (*mmsgIO, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	m := &mmsgIO{
+		rc:     rc,
+		batch:  batch,
+		rhdrs:  make([]mmsghdr, batch),
+		riovs:  make([]syscall.Iovec, batch),
+		rnames: make([]byte, batch*sockaddrBuf),
+		rbufs:  make([]byte, batch*maxUDPPayload),
+		resps:  make([]byte, batch*maxUDPPayload),
+		shdrs:  make([]mmsghdr, batch),
+		siovs:  make([]syscall.Iovec, batch),
+	}
+	for i := 0; i < batch; i++ {
+		m.riovs[i].Base = &m.rbufs[i*maxUDPPayload]
+		m.rhdrs[i].hdr.Iov = &m.riovs[i]
+		m.rhdrs[i].hdr.Iovlen = 1
+		m.rhdrs[i].hdr.Name = &m.rnames[i*sockaddrBuf]
+	}
+	return m, nil
+}
+
+func (m *mmsgIO) recv() (int, error) {
+	m.nq = 0
+	for i := 0; i < m.batch; i++ {
+		m.riovs[i].Len = maxUDPPayload
+		m.rhdrs[i].hdr.Namelen = sockaddrBuf
+		m.rhdrs[i].n = 0
+	}
+	var n int
+	var errno syscall.Errno
+	err := m.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&m.rhdrs[0])), uintptr(m.batch),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park on the netpoller until readable
+		}
+		n, errno = int(r1), e
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	return n, nil
+}
+
+func (m *mmsgIO) in(i int) []byte {
+	off := i * maxUDPPayload
+	return m.rbufs[off : off+int(m.rhdrs[i].n)]
+}
+
+func (m *mmsgIO) respBuf(i int) []byte {
+	off := i * maxUDPPayload
+	return m.resps[off : off : off+maxUDPPayload]
+}
+
+// addr decodes slot i's raw sockaddr. Slow path only: the fast path sends
+// responses with the raw sockaddr bytes untouched.
+func (m *mmsgIO) addr(i int) net.Addr {
+	sa := m.rnames[i*sockaddrBuf:]
+	family := uint16(sa[0]) | uint16(sa[1])<<8 // native-endian; amd64/arm64 are LE
+	switch family {
+	case syscall.AF_INET:
+		a := &net.UDPAddr{IP: make(net.IP, 4), Port: int(sa[2])<<8 | int(sa[3])}
+		copy(a.IP, sa[4:8])
+		return a
+	case syscall.AF_INET6:
+		a := &net.UDPAddr{IP: make(net.IP, 16), Port: int(sa[2])<<8 | int(sa[3])}
+		copy(a.IP, sa[8:24])
+		if scope := uint32(sa[24]) | uint32(sa[25])<<8 | uint32(sa[26])<<16 | uint32(sa[27])<<24; scope != 0 {
+			a.Zone = strconv.FormatUint(uint64(scope), 10)
+		}
+		return a
+	}
+	return nil
+}
+
+func (m *mmsgIO) queue(i int, wire []byte) {
+	j := m.nq
+	m.siovs[j].Base = &wire[0]
+	m.siovs[j].Len = uint64(len(wire))
+	m.shdrs[j].hdr.Iov = &m.siovs[j]
+	m.shdrs[j].hdr.Iovlen = 1
+	m.shdrs[j].hdr.Name = &m.rnames[i*sockaddrBuf]
+	m.shdrs[j].hdr.Namelen = m.rhdrs[i].hdr.Namelen
+	m.shdrs[j].n = 0
+	m.nq++
+}
+
+func (m *mmsgIO) flush() error {
+	sent := 0
+	for sent < m.nq {
+		var n int
+		var errno syscall.Errno
+		err := m.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.shdrs[sent])), uintptr(m.nq-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // park until writable
+			}
+			n, errno = int(r1), e
+			return true
+		})
+		if err != nil || errno != 0 {
+			m.nq = 0
+			if err != nil {
+				return err
+			}
+			return errno
+		}
+		if n <= 0 {
+			break
+		}
+		sent += n
+	}
+	m.nq = 0
+	return nil
+}
+
+// newUDPIO picks batched I/O for real UDP sockets and falls back to
+// single-datagram reads for anything else (test doubles, wrapped conns).
+func newUDPIO(conn net.PacketConn, batch int) udpIO {
+	if uc, ok := conn.(*net.UDPConn); ok {
+		if m, err := newMmsgIO(uc, batch); err == nil {
+			return m
+		}
+	}
+	return newOneIO(conn)
+}

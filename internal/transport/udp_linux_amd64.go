@@ -1,0 +1,8 @@
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64
+// (arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,8 @@
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (the generic
+// include/uapi/asm-generic/unistd.h table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,9 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net"
+
+// newUDPIO on platforms without batched-syscall support: one datagram per
+// round, same semantics.
+func newUDPIO(conn net.PacketConn, _ int) udpIO { return newOneIO(conn) }

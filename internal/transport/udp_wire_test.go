@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/authserver"
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/forwarder"
+	"github.com/extended-dns-errors/edelab/internal/frontend"
+	"github.com/extended-dns-errors/edelab/internal/resolver"
+	"github.com/extended-dns-errors/edelab/internal/testbed"
+)
+
+// TestUDPFormerrOnGarbage: an unparseable datagram with a readable ID gets
+// a minimal FORMERR back (ID echoed, QR set, no OPT, empty sections)
+// instead of silence, so broken clients fail fast.
+func TestUDPFormerrOnGarbage(t *testing.T) {
+	addr, srv := startUDP(t, Config{Handler: bigAnswerHandler(1, "")})
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// A 12-byte header claiming one question, with no question bytes.
+	garbage := []byte{0xDE, 0xAD, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0}
+	if _, err := conn.Write(garbage); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("no FORMERR came back: %v", err)
+	}
+	resp, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatalf("unpacking FORMERR: %v", err)
+	}
+	if resp.ID != 0xDEAD || !resp.Response || resp.RCode != dnswire.RCodeFormErr {
+		t.Errorf("got id=%#x qr=%t rcode=%s, want id=0xdead qr=true rcode=FORMERR",
+			resp.ID, resp.Response, resp.RCode)
+	}
+	if !resp.RecursionDesired {
+		t.Errorf("RD not echoed from the garbage header")
+	}
+	if resp.OPT != nil || len(resp.Question)+len(resp.Answer)+len(resp.Authority)+len(resp.Additional) != 0 {
+		t.Errorf("FORMERR must be a bare header, got %+v", resp)
+	}
+	if got := srv.m.errors[TransportUDP].Load(); got == 0 {
+		t.Error("garbage datagram not counted under the errors metric")
+	}
+
+	// A datagram too short to carry an ID gets nothing.
+	if _, err := conn.Write([]byte{0x42}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if n, err := conn.Read(buf); err == nil {
+		t.Errorf("1-byte datagram got a %d-byte reply; there is no ID to echo", n)
+	}
+}
+
+// startWiredFrontDoor boots a UDP front door over the full testbed stack
+// with the wire fast path auto-enabled (the frontend implements
+// WireServer).
+func startWiredFrontDoor(t *testing.T, cfg Config) (string, *Server) {
+	t.Helper()
+	tb, err := testbed.Build()
+	if err != nil {
+		t.Fatalf("building testbed: %v", err)
+	}
+	r := tb.NewResolver(resolver.ProfileCloudflare())
+	fe := frontend.New(forwarder.ResolverUpstream{R: r}, frontend.Config{Now: tb.Clock})
+	cfg.Handler = fe
+	return startUDP(t, cfg)
+}
+
+// TestUDPWireFastPath: over a real socket, a repeated query is served by
+// the wire fast path and the response content matches the slow-path fill.
+func TestUDPWireFastPath(t *testing.T) {
+	addr, srv := startWiredFrontDoor(t, Config{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	qname := dnswire.MustName("valid.extended-dns-errors.com.")
+	first, err := authserver.QueryUDP(ctx, addr, dnswire.NewQuery(1, qname, dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("fill query: %v", err)
+	}
+	if srv.m.wireServes.Load() != 0 {
+		t.Fatal("fill query cannot be a wire serve")
+	}
+	second, err := authserver.QueryUDP(ctx, addr, dnswire.NewQuery(2, qname, dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("hit query: %v", err)
+	}
+	if got := srv.m.wireServes.Load(); got != 1 {
+		t.Errorf("wire serves = %d, want 1 (cache hit must take the fast path)", got)
+	}
+	if len(second.Answer) != len(first.Answer) || second.RCode != first.RCode {
+		t.Errorf("wire-served response diverged: first %+v, second %+v", first, second)
+	}
+}
+
+// TestUDPWireDisabled: DisableWire forces every query down the Handler
+// path even when it implements WireServer.
+func TestUDPWireDisabled(t *testing.T) {
+	addr, srv := startWiredFrontDoor(t, Config{DisableWire: true})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	qname := dnswire.MustName("valid.extended-dns-errors.com.")
+	for id := uint16(1); id <= 2; id++ {
+		if _, err := authserver.QueryUDP(ctx, addr, dnswire.NewQuery(id, qname, dnswire.TypeA)); err != nil {
+			t.Fatalf("query %d: %v", id, err)
+		}
+	}
+	if got := srv.m.wireServes.Load(); got != 0 {
+		t.Errorf("wire serves = %d with DisableWire, want 0", got)
+	}
+}
+
+// TestListenUDPReusePort: two listeners share one port and both serve.
+func TestListenUDPReusePort(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("SO_REUSEPORT sharding requires linux")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	conns, err := ListenUDPReusePort(ctx, "127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatalf("ListenUDPReusePort: %v", err)
+	}
+	if len(conns) != 2 {
+		t.Fatalf("got %d conns, want 2", len(conns))
+	}
+	if a, b := conns[0].LocalAddr().String(), conns[1].LocalAddr().String(); a != b {
+		t.Fatalf("shards bound to different addresses: %s vs %s", a, b)
+	}
+	srv := NewServer(Config{Handler: bigAnswerHandler(1, "shard")})
+	for _, pc := range conns {
+		go srv.ServeUDP(ctx, pc)
+	}
+
+	// The kernel hashes by 4-tuple, so distinct client sockets spread over
+	// the shards; all must be answered no matter which shard got them.
+	qctx, qcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer qcancel()
+	for i := 0; i < 8; i++ {
+		resp, err := authserver.QueryUDP(qctx, conns[0].LocalAddr().String(),
+			dnswire.NewQuery(uint16(i+1), dnswire.MustName("shard.example."), dnswire.TypeA))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(resp.Answer) != 1 {
+			t.Fatalf("query %d: answers = %d, want 1", i, len(resp.Answer))
+		}
+	}
+}
