@@ -100,7 +100,20 @@ func main() {
 	udpWorkers := flag.Int("udp-workers", transport.DefaultUDPWorkers, "goroutines per UDP read loop draining slow-path queries")
 	noWireCache := flag.Bool("no-wire-cache", false, "disable the pre-packed wire response cache (every query builds its response from scratch)")
 	tcpKeepalive := flag.Duration("tcp-keepalive", 0, "edns-tcp-keepalive idle timeout advertised on TCP/DoT responses (RFC 7828; 0 = not advertised)")
+	clusterN := flag.Int("cluster", 0, "run N frontend replicas behind a consistent-hash query router (implies -mode resolver; mounts /api/cluster/ on -admin for -join peers)")
+	joinURL := flag.String("join", "", "join an existing cluster as a secondary replica, e.g. http://127.0.0.1:9970 (the primary's -admin base URL)")
+	replicaID := flag.String("replica-id", "", "replica identity announced to the cluster with -join (default: derived from the DNS listen address)")
+	advertiseAddr := flag.String("advertise", "", "DNS address the primary should forward this replica's ring range to with -join (default: the bound -addr)")
+	hotBroadcast := flag.Int("hot-broadcast", 0, "owner cache hits after which an entry's pre-packed wire image is broadcast to every replica (0 = library default)")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long a -join replica keeps serving between announcing drain and leaving on SIGTERM")
 	flag.Parse()
+	if *clusterN > 0 || *joinURL != "" {
+		*mode = "resolver"
+	}
+	if *clusterN > 0 && *joinURL != "" {
+		fmt.Fprintln(os.Stderr, "edeserver: -cluster (primary) and -join (secondary) are mutually exclusive")
+		os.Exit(2)
+	}
 
 	tb, err := testbed.Build()
 	if err != nil {
@@ -139,10 +152,13 @@ func main() {
 		tlog = telemetry.NewTraceLog(*traceRing)
 	}
 	sampler := telemetry.NewSampler(*traceSample)
-	if *admin != "" {
+	startAdmin := func(mounts ...telemetry.Mount) {
+		if *admin == "" {
+			return
+		}
 		h := telemetry.AdminHandler(reg, tlog, func() map[string]any {
 			return map[string]any{"mode": *mode, "dns_addr": conn.LocalAddr().String()}
-		})
+		}, mounts...)
 		adminAddr, err := telemetry.ServeAdmin(ctx, *admin, h)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edeserver: -admin: %v\n", err)
@@ -153,13 +169,42 @@ func main() {
 
 	if *mode == "resolver" {
 		prof := resolverProfile(*profileName)
-		res := tb.NewResolver(prof)
+		var tcfg *resolver.TransportConfig
 		if *retries > 0 || *retryBudget > 0 {
-			res.Transport = &resolver.TransportConfig{
+			tcfg = &resolver.TransportConfig{
 				Retries:     *retries,
 				RetryBudget: *retryBudget,
 				Backoff:     50 * time.Millisecond,
 			}
+		}
+		fdOpts := frontDoorOpts{
+			tcp: *tcpAddr, dot: *tlsAddr, doh: *dohAddr,
+			certFile: *tlsCert, keyFile: *tlsKey,
+			maxConns: *maxConns, idleTimeout: *idleTimeout,
+			udpWorkers: *udpWorkers, disableWire: *noWireCache,
+			tcpKeepalive: *tcpKeepalive,
+		}
+		fcfg := frontend.Config{
+			Capacity:     *cacheSize,
+			MaxInflight:  *maxInflight,
+			QueryTimeout: *queryTimeout,
+			StaleWindow:  *staleWindow,
+		}
+		if *clusterN > 0 || *joinURL != "" {
+			runClusterMode(ctx, clusterMode{
+				tb: tb, conns: conns, prof: prof, tcfg: tcfg,
+				fcfg: fcfg, reg: reg, sampler: sampler, tlog: tlog,
+				startAdmin: startAdmin, opts: fdOpts,
+				replicas: *clusterN, join: *joinURL,
+				id: *replicaID, advertise: *advertiseAddr,
+				hotThreshold: *hotBroadcast, drainGrace: *drainGrace,
+			})
+			return
+		}
+		startAdmin()
+		res := tb.NewResolver(prof)
+		if tcfg != nil {
+			res.Transport = tcfg
 		}
 		res.RegisterMetrics(reg)
 		var front netsim.Handler
@@ -167,12 +212,7 @@ func main() {
 		if *noFrontend {
 			front = directHandler(res)
 		} else {
-			fe = frontend.New(forwarder.ResolverUpstream{R: res}, frontend.Config{
-				Capacity:     *cacheSize,
-				MaxInflight:  *maxInflight,
-				QueryTimeout: *queryTimeout,
-				StaleWindow:  *staleWindow,
-			})
+			fe = frontend.New(forwarder.ResolverUpstream{R: res}, fcfg)
 			fe.RegisterMetrics(reg)
 			front = fe
 		}
@@ -188,13 +228,8 @@ func main() {
 		if fe != nil && !*noWireCache {
 			wire = fe
 		}
-		if err := serveFrontDoor(ctx, conns, front, reg, frontDoorOpts{
-			tcp: *tcpAddr, dot: *tlsAddr, doh: *dohAddr,
-			certFile: *tlsCert, keyFile: *tlsKey,
-			maxConns: *maxConns, idleTimeout: *idleTimeout,
-			udpWorkers: *udpWorkers, wire: wire, disableWire: *noWireCache,
-			tcpKeepalive: *tcpKeepalive,
-		}); err != nil && ctx.Err() == nil {
+		fdOpts.wire = wire
+		if err := serveFrontDoor(ctx, conns, front, reg, fdOpts); err != nil && ctx.Err() == nil {
 			fmt.Fprintf(os.Stderr, "edeserver: %v\n", err)
 			os.Exit(1)
 		}
@@ -203,6 +238,8 @@ func main() {
 		}
 		return
 	}
+
+	startAdmin()
 
 	// Front the whole simulated network through one socket: route each
 	// query to the simulated endpoint that would be authoritative for it.

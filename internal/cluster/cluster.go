@@ -1,0 +1,541 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/ede"
+	"github.com/extended-dns-errors/edelab/internal/forwarder"
+	"github.com/extended-dns-errors/edelab/internal/frontend"
+	"github.com/extended-dns-errors/edelab/internal/netsim"
+	"github.com/extended-dns-errors/edelab/internal/telemetry"
+)
+
+// nodeState is a replica's routing state. Draining and down replicas take
+// no new queries (their ring range is absorbed by the next live node), but
+// a draining replica's cache stays peekable so takeover answers remain
+// byte-identical; a down replica is gone entirely.
+type nodeState int32
+
+const (
+	stateActive nodeState = iota
+	stateDraining
+	stateDown
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateActive:
+		return "active"
+	case stateDraining:
+		return "draining"
+	case stateDown:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+const (
+	// hotSlots sizes the approximate per-key hit counters driving hot-entry
+	// broadcast (power of two; collisions only cause a harmless early
+	// broadcast of a colder key).
+	hotSlots = 8192
+
+	// diffLogCap bounds the incremental change log; peers further behind
+	// than this get Full=true and must refetch the whole state.
+	diffLogCap = 512
+)
+
+// Config tunes the cluster. The zero value gets defaults from New.
+type Config struct {
+	// Seed feeds the ring's vnode placement (deterministic per seed).
+	Seed uint64
+	// Vnodes is the virtual-node count per replica (DefaultVnodes when 0).
+	Vnodes int
+	// Frontend is the serving configuration every local replica's frontend
+	// is built with; it is also the ServingConfig replicated to
+	// secondaries, so the whole cluster answers identically.
+	Frontend frontend.Config
+	// HotThreshold is how many router-observed hits a key needs before the
+	// owner's cache entry (pre-packed wire bytes included) is broadcast to
+	// every replica. 0 disables broadcast.
+	HotThreshold int
+	// MaxNodeInflight is the bounded-load cap: when the owning replica has
+	// this many routed queries in flight, the router spills the query to
+	// the next ring node. 0 derives 2x the frontend's MaxInflight.
+	MaxNodeInflight int
+	// ForwardTimeout bounds one UDP forward to a remote replica.
+	ForwardTimeout time.Duration
+	// RemoteFailureLimit is how many consecutive forward failures mark a
+	// remote replica down.
+	RemoteFailureLimit int
+	// Manifest, when set, names the zone set (name + content hash) that
+	// joining secondaries must verify before taking traffic.
+	Manifest func() []ZoneInfo
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.MaxNodeInflight <= 0 {
+		mi := c.Frontend.MaxInflight
+		if mi <= 0 {
+			mi = 512
+		}
+		c.MaxNodeInflight = 2 * mi
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 1500 * time.Millisecond
+	}
+	if c.RemoteFailureLimit <= 0 {
+		c.RemoteFailureLimit = 3
+	}
+	return c
+}
+
+// node is one cluster member: an in-process frontend replica or a remote
+// one reached by UDP forwarding.
+type node struct {
+	id      string
+	addr    string             // DNS address for remote members, "" for local
+	local   *frontend.Frontend // non-nil for in-process replicas
+	backend netsim.Handler
+
+	state        atomic.Int32
+	inflight     atomic.Int64
+	routed       atomic.Uint64
+	failures     atomic.Int32 // consecutive remote forward failures
+	appliedEpoch atomic.Uint64
+}
+
+func (n *node) st() nodeState { return nodeState(n.state.Load()) }
+
+// view is the immutable routing snapshot: the ring plus the member slice
+// its node indices refer into. Replaced wholesale on membership change,
+// read lock-free on every query.
+type view struct {
+	ring  *ring
+	nodes []*node
+}
+
+// Cluster is the multi-replica serving tier. It implements netsim.Handler
+// (route a parsed query to the owning replica) and transport.WireServer
+// (serve straight from the owner's pre-packed wire cache), so it slots
+// into the PR 6 front door wherever a single frontend did.
+type Cluster struct {
+	cfg Config
+
+	mu      sync.Mutex // guards members/epoch/changes/regs
+	members []*node
+	epoch   uint64
+	changes []Change
+	regs    map[string]*telemetry.Registry
+	metReg  *telemetry.Registry // where per-replica counters register late
+
+	viewP  atomic.Pointer[view]
+	epochA atomic.Uint64
+	hot    [hotSlots]atomic.Uint32
+	m      metrics
+}
+
+// New builds an empty cluster; add replicas with AddLocal/AddRemote.
+func New(cfg Config) *Cluster {
+	return &Cluster{cfg: cfg.withDefaults(), regs: make(map[string]*telemetry.Registry)}
+}
+
+// Replica is the handle AddLocal returns for one in-process member.
+type Replica struct {
+	n   *node
+	fe  *frontend.Frontend
+	reg *telemetry.Registry
+}
+
+// ID returns the replica id.
+func (r *Replica) ID() string { return r.n.id }
+
+// Frontend returns the replica's serving frontend.
+func (r *Replica) Frontend() *frontend.Frontend { return r.fe }
+
+// Registry returns the replica's private telemetry registry (frontend
+// counters; callers register their resolver's metrics here too).
+func (r *Replica) Registry() *telemetry.Registry { return r.reg }
+
+// AddLocal builds one in-process replica: a frontend over up with the
+// cluster's serving config and the cross-replica peek hook installed, plus
+// a per-replica telemetry registry.
+func (c *Cluster) AddLocal(id string, up forwarder.Upstream) (*Replica, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.findLocked(id) != nil {
+		return nil, fmt.Errorf("cluster: replica %q already exists", id)
+	}
+	nd := &node{id: id}
+	fcfg := c.cfg.Frontend
+	fcfg.Peek = c.peekFor(nd)
+	fe := frontend.New(up, fcfg)
+	nd.local = fe
+	nd.backend = fe
+	reg := telemetry.NewRegistry()
+	fe.RegisterMetrics(reg)
+	c.regs[id] = reg
+	c.admitLocked(nd, "join")
+	return &Replica{n: nd, fe: fe, reg: reg}, nil
+}
+
+// AddRemote admits (or, for a known id, reactivates) a remote replica
+// whose front door listens on addr; the router reaches it by forwarding
+// the query datagram over UDP.
+func (c *Cluster) AddRemote(id, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if nd := c.findLocked(id); nd != nil {
+		if nd.local != nil {
+			return fmt.Errorf("cluster: replica %q is local, cannot re-join as remote", id)
+		}
+		nd.addr = addr
+		nd.backend = newRemoteBackend(addr, c.cfg.ForwardTimeout)
+		nd.failures.Store(0)
+		nd.state.Store(int32(stateActive))
+		c.bumpLocked("rejoin", id)
+		nd.appliedEpoch.Store(c.epoch)
+		return nil
+	}
+	nd := &node{id: id, addr: addr, backend: newRemoteBackend(addr, c.cfg.ForwardTimeout)}
+	c.admitLocked(nd, "join")
+	return nil
+}
+
+// admitLocked appends a new member, bumps the epoch, and rebuilds the ring.
+func (c *Cluster) admitLocked(nd *node, kind string) {
+	nd.state.Store(int32(stateActive))
+	c.members = append(c.members, nd)
+	c.bumpLocked(kind, nd.id)
+	nd.appliedEpoch.Store(c.epoch)
+	c.rebuildLocked()
+	c.registerNodeLocked(nd)
+}
+
+// bumpLocked advances the epoch and appends to the bounded change log.
+func (c *Cluster) bumpLocked(kind, name string) {
+	c.epoch++
+	c.epochA.Store(c.epoch)
+	c.changes = append(c.changes, Change{Epoch: c.epoch, Kind: kind, Name: name})
+	if len(c.changes) > diffLogCap {
+		c.changes = c.changes[len(c.changes)-diffLogCap:]
+	}
+}
+
+// rebuildLocked recomputes the immutable routing view from the member list.
+func (c *Cluster) rebuildLocked() {
+	ids := make([]string, len(c.members))
+	nodes := make([]*node, len(c.members))
+	for i, nd := range c.members {
+		ids[i] = nd.id
+		nodes[i] = nd
+	}
+	c.viewP.Store(&view{ring: buildRing(ids, uint64(c.cfg.Vnodes), c.cfg.Seed), nodes: nodes})
+}
+
+func (c *Cluster) findLocked(id string) *node {
+	for _, nd := range c.members {
+		if nd.id == id {
+			return nd
+		}
+	}
+	return nil
+}
+
+// setState transitions one member and records the change.
+func (c *Cluster) setState(id string, st nodeState, kind string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nd := c.findLocked(id)
+	if nd == nil {
+		return fmt.Errorf("cluster: unknown replica %q", id)
+	}
+	nd.state.Store(int32(st))
+	c.bumpLocked(kind, id)
+	return nil
+}
+
+// MarkDraining stops routing new queries to id without waiting for its
+// inflight queries (the remote drain protocol: the replica announces the
+// drain, finishes what it has, then leaves).
+func (c *Cluster) MarkDraining(id string) error { return c.setState(id, stateDraining, "drain") }
+
+// Drain marks id draining and waits until its routed inflight count hits
+// zero (in-process rolling restart). The cache stays peekable.
+func (c *Cluster) Drain(ctx context.Context, id string) error {
+	if err := c.MarkDraining(id); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	nd := c.findLocked(id)
+	c.mu.Unlock()
+	for nd.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Kill marks id down immediately — the chaos path: no drain, cache not
+// even peekable, peers absorb its ring range on the next query.
+func (c *Cluster) Kill(id string) error { return c.setState(id, stateDown, "down") }
+
+// Leave marks id down gracefully (it stays in the member list so a later
+// join with the same id is a rejoin and the diff log tells the story).
+func (c *Cluster) Leave(id string) error { return c.setState(id, stateDown, "leave") }
+
+// Rejoin returns a drained/down replica to active rotation after it has
+// replayed the current epoch state (for local replicas the zone data is
+// shared in-process, so replay reduces to acknowledging the epoch).
+func (c *Cluster) Rejoin(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nd := c.findLocked(id)
+	if nd == nil {
+		return fmt.Errorf("cluster: unknown replica %q", id)
+	}
+	nd.failures.Store(0)
+	nd.state.Store(int32(stateActive))
+	c.bumpLocked("rejoin", id)
+	nd.appliedEpoch.Store(c.epoch)
+	return nil
+}
+
+// Epoch returns the current replication epoch.
+func (c *Cluster) Epoch() uint64 { return c.epochA.Load() }
+
+// BumpZone records a zone-content change, advancing the epoch so
+// secondaries detect it via /diff and re-verify the manifest.
+func (c *Cluster) BumpZone(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked("zone", name)
+}
+
+// candidates walks the ring from h: owner is the first node visited
+// regardless of state; cands are the active nodes in takeover order.
+func (c *Cluster) candidates(v *view, h uint64) (owner *node, cands []*node) {
+	v.ring.sequence(h, func(n int) bool {
+		nd := v.nodes[n]
+		if owner == nil {
+			owner = nd
+		}
+		if nd.st() == stateActive {
+			cands = append(cands, nd)
+		}
+		return true
+	})
+	return owner, cands
+}
+
+// HandleDNS implements netsim.Handler: hash the question onto the ring,
+// serve on the owning replica, spill past draining/down/overloaded nodes,
+// and retry the next ring node when a remote forward fails.
+func (c *Cluster) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	v := c.viewP.Load()
+	if v == nil || len(v.nodes) == 0 {
+		c.m.unrouted.Add(1)
+		return failReply(q, "cluster has no replicas"), nil
+	}
+	var h uint64
+	if len(q.Question) == 1 {
+		h = keyHash(q.Question[0].Name, q.Question[0].Type, q.CheckingDisabled)
+	}
+	owner, cands := c.candidates(v, h)
+	if len(cands) == 0 {
+		c.m.unrouted.Add(1)
+		return failReply(q, "cluster: no replica available"), nil
+	}
+
+	// Bounded load: prefer the first candidate under the inflight cap;
+	// when all are over it, the owner-side candidate still serves (an
+	// overloaded owner beats a refused client — the frontend sheds its
+	// own recursions with EDE 23 if it truly cannot keep up).
+	start := 0
+	for i, nd := range cands {
+		if nd.inflight.Load() < int64(c.cfg.MaxNodeInflight) {
+			start = i
+			break
+		}
+	}
+	target := cands[start]
+	if target != owner {
+		if owner.st() == stateActive {
+			c.m.spills.Add(1)
+		} else {
+			c.m.takeovers.Add(1)
+		}
+	}
+
+	for attempt := 0; attempt < len(cands); attempt++ {
+		nd := cands[(start+attempt)%len(cands)]
+		if attempt > 0 {
+			if nd.st() != stateActive {
+				continue // marked down by a concurrent failure
+			}
+			c.m.takeovers.Add(1)
+		}
+		resp, err := c.serveOn(ctx, nd, q)
+		if err == nil && resp != nil {
+			if nd.addr != "" {
+				nd.failures.Store(0)
+			}
+			if nd == owner && len(q.Question) == 1 {
+				pk := frontend.PeekKey{Name: q.Question[0].Name, Type: q.Question[0].Type, DO: q.DO(), CD: q.CheckingDisabled}
+				c.trackHot(v, owner, pk, h)
+			}
+			return resp, nil
+		}
+		c.m.forwardFails.Add(1)
+		c.noteFailure(nd)
+	}
+	c.m.unrouted.Add(1)
+	return failReply(q, "cluster: every replica failed"), nil
+}
+
+// serveOn runs one query on nd, accounting inflight for the bounded-load
+// cap and the drain wait.
+func (c *Cluster) serveOn(ctx context.Context, nd *node, q *dnswire.Message) (*dnswire.Message, error) {
+	nd.inflight.Add(1)
+	defer nd.inflight.Add(-1)
+	nd.routed.Add(1)
+	return nd.backend.HandleDNS(ctx, q)
+}
+
+// noteFailure counts a forward failure against a remote member, marking it
+// down at the configured limit so the ring stops offering it.
+func (c *Cluster) noteFailure(nd *node) {
+	if nd.addr == "" {
+		return
+	}
+	if int(nd.failures.Add(1)) >= c.cfg.RemoteFailureLimit && nd.st() == stateActive {
+		_ = c.setState(nd.id, stateDown, "down")
+	}
+}
+
+// ServeWire implements transport.WireServer: a wire-cache hit on the
+// owning (or takeover) replica is served without parsing. A miss falls
+// back to the full HandleDNS path, which peeks before recursing.
+func (c *Cluster) ServeWire(q dnswire.WireQuery, limit int, dst []byte) ([]byte, bool) {
+	v := c.viewP.Load()
+	if v == nil || len(v.nodes) == 0 {
+		return nil, false
+	}
+	h := keyHash(q.Name, q.Type, q.CD)
+	owner, cands := c.candidates(v, h)
+	if len(cands) == 0 || cands[0].local == nil {
+		return nil, false
+	}
+	target := cands[0]
+	out, ok := target.local.ServeWire(q, limit, dst)
+	if !ok {
+		return nil, false
+	}
+	if target == owner {
+		c.trackHot(v, owner, frontend.PeekKey{Name: q.Name, Type: q.Type, DO: q.DO, CD: q.CD}, h)
+	}
+	return out, true
+}
+
+// trackHot counts router-observed traffic per key slot; crossing the
+// threshold broadcasts the owner's entry — pre-packed wire images and all,
+// entries are shared by pointer — to every live local replica, so the
+// hottest keys are wire-served by whichever replica the spill lands on.
+func (c *Cluster) trackHot(v *view, owner *node, pk frontend.PeekKey, h uint64) {
+	if c.cfg.HotThreshold <= 0 || owner.local == nil {
+		return
+	}
+	if c.hot[h&(hotSlots-1)].Add(1) != uint32(c.cfg.HotThreshold) {
+		return
+	}
+	se, ok := owner.local.PeekShared(pk, false)
+	if !ok || se.IsError() {
+		return
+	}
+	shared := false
+	for _, nd := range v.nodes {
+		if nd == owner || nd.local == nil || nd.st() == stateDown {
+			continue
+		}
+		nd.local.Absorb(se)
+		shared = true
+	}
+	if shared {
+		c.m.broadcasts.Add(1)
+	}
+}
+
+// peekFor builds the cross-replica peek hook for one local member: consult
+// every other live local replica's cache, preferring fresh entries
+// anywhere over stale ones. Draining replicas still answer peeks — that is
+// what keeps takeover answers byte-identical during a drain.
+func (c *Cluster) peekFor(self *node) func(pk frontend.PeekKey, staleOK bool) (*frontend.SharedEntry, bool) {
+	return func(pk frontend.PeekKey, staleOK bool) (*frontend.SharedEntry, bool) {
+		v := c.viewP.Load()
+		if v == nil {
+			c.m.peekMisses.Add(1)
+			return nil, false
+		}
+		for _, nd := range v.nodes {
+			if nd == self || nd.local == nil || nd.st() == stateDown {
+				continue
+			}
+			if se, ok := nd.local.PeekShared(pk, false); ok {
+				c.m.peekHits.Add(1)
+				return se, true
+			}
+		}
+		if staleOK {
+			for _, nd := range v.nodes {
+				if nd == self || nd.local == nil || nd.st() == stateDown {
+					continue
+				}
+				if se, ok := nd.local.PeekShared(pk, true); ok {
+					c.m.peekHits.Add(1)
+					return se, true
+				}
+			}
+		}
+		c.m.peekMisses.Add(1)
+		return nil, false
+	}
+}
+
+// OwnerID reports which replica owns the (name, type, cd) question — test
+// and operator tooling for ring-placement assertions.
+func (c *Cluster) OwnerID(name dnswire.Name, qtype dnswire.Type, cd bool) string {
+	v := c.viewP.Load()
+	if v == nil {
+		return ""
+	}
+	n := v.ring.owner(keyHash(name, qtype, cd))
+	if n < 0 {
+		return ""
+	}
+	return v.nodes[n].id
+}
+
+// failReply is the router's own failure answer: SERVFAIL with EDE 23
+// (network error) when the client can carry it, mirroring the transport
+// shed reply so clients see one idiom for "infrastructure, not data".
+func failReply(q *dnswire.Message, text string) *dnswire.Message {
+	r := q.Reply()
+	r.RCode = dnswire.RCodeServFail
+	if r.OPT != nil {
+		r.AddEDE(uint16(ede.CodeNetworkError), text)
+	}
+	return r
+}
+
+var _ netsim.Handler = (*Cluster)(nil)

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// remoteBackend forwards queries to a peer replica's front door over UDP:
+// the router's half of cross-process clustering. The forwarded datagram is
+// the client's query re-packed with a fresh ID (so concurrent forwards on
+// pooled sockets cannot collide); the peer's answer comes back with the
+// client's ID restored. One forward, one timeout — ring-level retry and
+// down-marking live in the router.
+type remoteBackend struct {
+	addr    string
+	timeout time.Duration
+	nextID  atomic.Uint32
+	conns   sync.Pool // *net.UDPConn, connected to addr
+}
+
+func newRemoteBackend(addr string, timeout time.Duration) *remoteBackend {
+	return &remoteBackend{addr: addr, timeout: timeout}
+}
+
+func (r *remoteBackend) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: pack forward to %s: %w", r.addr, err)
+	}
+	id := uint16(r.nextID.Add(1))
+	if len(wire) < 2 {
+		return nil, fmt.Errorf("cluster: short packed query")
+	}
+	wire[0], wire[1] = byte(id>>8), byte(id)
+
+	conn, _ := r.conns.Get().(*net.UDPConn)
+	if conn == nil {
+		raddr, err := net.ResolveUDPAddr("udp", r.addr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: resolve %s: %w", r.addr, err)
+		}
+		conn, err = net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: dial %s: %w", r.addr, err)
+		}
+	}
+
+	deadline := time.Now().Add(r.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: forward to %s: %w", r.addr, err)
+	}
+
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: read from %s: %w", r.addr, err)
+		}
+		if n < 2 || uint16(buf[0])<<8|uint16(buf[1]) != id {
+			continue // stray answer to an earlier timed-out forward
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: unpack from %s: %w", r.addr, err)
+		}
+		r.conns.Put(conn)
+		resp.ID = q.ID
+		return resp, nil
+	}
+}

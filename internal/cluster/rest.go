@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/frontend"
+)
+
+// REST replication plane: the primary exposes /api/cluster/* on its admin
+// HTTP listener (telemetry.ServeAdmin); secondaries fetch the
+// epoch-numbered state snapshot, verify the zone manifest, join, and later
+// announce drain/leave. Incremental catch-up goes through /diff; peers
+// older than the bounded change log get Full=true and refetch.
+
+// ZoneInfo names one replicated zone by content hash: zones are built
+// deterministically on every replica, so replication is verification, not
+// transfer — a secondary that hashes differently must not take traffic.
+type ZoneInfo struct {
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+}
+
+// HashZoneText fingerprints a zone's canonical text form (zone.Zone.String)
+// with FNV-1a for the manifest.
+func HashZoneText(text string) string {
+	h := fnv.New64a()
+	io.WriteString(h, text)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// VerifyManifest checks that two manifests name the same zones with the
+// same content hashes.
+func VerifyManifest(local, remote []ZoneInfo) error {
+	idx := make(map[string]string, len(local))
+	for _, z := range local {
+		idx[z.Name] = z.Hash
+	}
+	if len(local) != len(remote) {
+		return fmt.Errorf("cluster: zone manifest mismatch: %d local zones vs %d remote", len(local), len(remote))
+	}
+	for _, z := range remote {
+		lh, ok := idx[z.Name]
+		if !ok {
+			return fmt.Errorf("cluster: zone manifest mismatch: zone %q unknown locally", z.Name)
+		}
+		if lh != z.Hash {
+			return fmt.Errorf("cluster: zone manifest mismatch: zone %q hash %s != %s", z.Name, lh, z.Hash)
+		}
+	}
+	return nil
+}
+
+// ServingConfig is the replicated serving configuration: the frontend
+// knobs every replica must share so the cluster answers identically.
+// Durations travel as nanoseconds.
+type ServingConfig struct {
+	Shards       int           `json:"shards"`
+	Capacity     int           `json:"capacity"`
+	MaxInflight  int           `json:"max_inflight"`
+	QueryTimeout time.Duration `json:"query_timeout_ns"`
+	StaleWindow  time.Duration `json:"stale_window_ns"`
+	StaleTTL     uint32        `json:"stale_ttl"`
+	ErrorTTL     time.Duration `json:"error_ttl_ns"`
+	NegativeTTL  time.Duration `json:"negative_ttl_ns"`
+	MaxTTL       time.Duration `json:"max_ttl_ns"`
+}
+
+// MemberInfo is one member's replicated view.
+type MemberInfo struct {
+	ID           string `json:"id"`
+	Addr         string `json:"addr,omitempty"`
+	State        string `json:"state"`
+	Local        bool   `json:"local"`
+	Routed       uint64 `json:"routed"`
+	AppliedEpoch uint64 `json:"applied_epoch"`
+}
+
+// State is the epoch-numbered snapshot a joining or rejoining replica
+// replays before taking traffic.
+type State struct {
+	Epoch   uint64        `json:"epoch"`
+	Config  ServingConfig `json:"config"`
+	Zones   []ZoneInfo    `json:"zones"`
+	Members []MemberInfo  `json:"members"`
+}
+
+// Change is one entry in the incremental replication log.
+type Change struct {
+	Epoch uint64 `json:"epoch"`
+	Kind  string `json:"kind"` // join|rejoin|leave|drain|down|zone|config
+	Name  string `json:"name"`
+}
+
+// Diff is the incremental catch-up from a peer's epoch to the current one.
+// Full means the change log no longer reaches back that far and the peer
+// must refetch /state.
+type Diff struct {
+	From    uint64   `json:"from"`
+	To      uint64   `json:"to"`
+	Full    bool     `json:"full"`
+	Changes []Change `json:"changes,omitempty"`
+}
+
+// ServingConfig derives the replicated config from the cluster's frontend
+// configuration (post-defaults, so secondaries apply concrete values).
+func (c *Cluster) ServingConfig() ServingConfig {
+	f := c.cfg.Frontend
+	// Mirror frontend.Config.withDefaults so zero local fields replicate as
+	// the concrete values the primary actually serves with.
+	sc := ServingConfig{
+		Shards: f.Shards, Capacity: f.Capacity, MaxInflight: f.MaxInflight,
+		QueryTimeout: f.QueryTimeout, StaleWindow: f.StaleWindow, StaleTTL: f.StaleTTL,
+		ErrorTTL: f.ErrorTTL, NegativeTTL: f.NegativeTTL, MaxTTL: f.MaxTTL,
+	}
+	if sc.Shards <= 0 {
+		sc.Shards = 64
+	}
+	if sc.Capacity <= 0 {
+		sc.Capacity = 1 << 16
+	}
+	if sc.MaxInflight <= 0 {
+		sc.MaxInflight = 512
+	}
+	if sc.QueryTimeout <= 0 {
+		sc.QueryTimeout = 5 * time.Second
+	}
+	if sc.StaleWindow == 0 {
+		sc.StaleWindow = 24 * time.Hour
+	}
+	if sc.StaleTTL == 0 {
+		sc.StaleTTL = 30
+	}
+	if sc.ErrorTTL <= 0 {
+		sc.ErrorTTL = 30 * time.Second
+	}
+	if sc.NegativeTTL <= 0 {
+		sc.NegativeTTL = 60 * time.Second
+	}
+	if sc.MaxTTL <= 0 {
+		sc.MaxTTL = 6 * time.Hour
+	}
+	return sc
+}
+
+// Apply overwrites a frontend config's replicated knobs, so a joining
+// secondary serves with exactly the primary's serving parameters.
+func (sc ServingConfig) Apply(f *frontend.Config) {
+	f.Shards = sc.Shards
+	f.Capacity = sc.Capacity
+	f.MaxInflight = sc.MaxInflight
+	f.QueryTimeout = sc.QueryTimeout
+	f.StaleWindow = sc.StaleWindow
+	f.StaleTTL = sc.StaleTTL
+	f.ErrorTTL = sc.ErrorTTL
+	f.NegativeTTL = sc.NegativeTTL
+	f.MaxTTL = sc.MaxTTL
+}
+
+// StateSnapshot builds the current epoch snapshot.
+func (c *Cluster) StateSnapshot() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := State{Epoch: c.epoch, Config: c.ServingConfig()}
+	if c.cfg.Manifest != nil {
+		st.Zones = append(st.Zones, c.cfg.Manifest()...)
+		sort.Slice(st.Zones, func(i, j int) bool { return st.Zones[i].Name < st.Zones[j].Name })
+	}
+	for _, nd := range c.members {
+		st.Members = append(st.Members, MemberInfo{
+			ID: nd.id, Addr: nd.addr, State: nd.st().String(), Local: nd.local != nil,
+			Routed: nd.routed.Load(), AppliedEpoch: nd.appliedEpoch.Load(),
+		})
+	}
+	return st
+}
+
+// DiffSince builds the incremental catch-up from epoch since.
+func (c *Cluster) DiffSince(since uint64) Diff {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := Diff{From: since, To: c.epoch}
+	if since >= c.epoch {
+		return d
+	}
+	if len(c.changes) == 0 || c.changes[0].Epoch > since+1 {
+		d.Full = true
+		return d
+	}
+	for _, ch := range c.changes {
+		if ch.Epoch > since {
+			d.Changes = append(d.Changes, ch)
+		}
+	}
+	return d
+}
+
+// RESTHandler returns the /api/cluster/* replication plane, mounted on the
+// admin HTTP listener.
+func (c *Cluster) RESTHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/cluster/state", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, c.StateSnapshot())
+	})
+	mux.HandleFunc("/api/cluster/diff", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		since, err := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, c.DiffSince(since))
+	})
+	mux.HandleFunc("/api/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ID   string `json:"id"`
+			Addr string `json:"addr"`
+		}
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.ID == "" || req.Addr == "" {
+			http.Error(w, "id and addr required", http.StatusBadRequest)
+			return
+		}
+		if err := c.AddRemote(req.ID, req.Addr); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, c.StateSnapshot())
+	})
+	member := func(do func(id string) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				ID string `json:"id"`
+			}
+			if !readJSON(w, r, &req) {
+				return
+			}
+			if err := do(req.ID); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, c.StateSnapshot())
+		}
+	}
+	mux.HandleFunc("/api/cluster/drain", member(c.MarkDraining))
+	mux.HandleFunc("/api/cluster/leave", member(c.Leave))
+	mux.HandleFunc("/api/cluster/rejoin", member(c.Rejoin))
+	mux.HandleFunc("/api/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("replica")
+		c.mu.Lock()
+		reg := c.regs[id]
+		c.mu.Unlock()
+		if reg == nil {
+			http.Error(w, "unknown local replica", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// --- client side (secondaries) ---
+
+// FetchState GETs the primary's current epoch snapshot.
+func FetchState(ctx context.Context, baseURL string) (*State, error) {
+	var st State
+	if err := doJSON(ctx, http.MethodGet, baseURL+"/api/cluster/state", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// FetchDiff GETs the incremental catch-up since epoch.
+func FetchDiff(ctx context.Context, baseURL string, since uint64) (*Diff, error) {
+	var d Diff
+	url := fmt.Sprintf("%s/api/cluster/diff?since=%d", baseURL, since)
+	if err := doJSON(ctx, http.MethodGet, url, nil, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Join announces this replica to the primary and returns the state the
+// primary replied with (epoch check: a secondary that fetched state at
+// epoch E and sees a different epoch here re-verifies before serving).
+func Join(ctx context.Context, baseURL, id, addr string) (*State, error) {
+	var st State
+	req := map[string]string{"id": id, "addr": addr}
+	if err := doJSON(ctx, http.MethodPost, baseURL+"/api/cluster/join", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// AnnounceDrain tells the primary to stop routing to id (SIGTERM step 1:
+// the replica finishes its inflight queries while peers absorb its range).
+func AnnounceDrain(ctx context.Context, baseURL, id string) error {
+	return doJSON(ctx, http.MethodPost, baseURL+"/api/cluster/drain", map[string]string{"id": id}, nil)
+}
+
+// AnnounceLeave marks id down on the primary (SIGTERM step 2).
+func AnnounceLeave(ctx context.Context, baseURL, id string) error {
+	return doJSON(ctx, http.MethodPost, baseURL+"/api/cluster/leave", map[string]string{"id": id}, nil)
+}
+
+func doJSON(ctx context.Context, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+	"github.com/extended-dns-errors/edelab/internal/population"
+)
+
+func replicaIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("r%d", i)
+	}
+	return ids
+}
+
+// popHashes places the scan population's qnames on the ring — the realistic
+// key distribution the balance bound is stated over.
+func popHashes(t *testing.T, domains int) []uint64 {
+	t.Helper()
+	pop := population.Generate(population.Config{TotalDomains: domains, Seed: 42})
+	var hs []uint64
+	it := pop.Names()
+	for {
+		name, ok := it.Next()
+		if !ok {
+			break
+		}
+		hs = append(hs, keyHash(name, dnswire.TypeA, false))
+	}
+	if len(hs) == 0 {
+		t.Fatal("empty population")
+	}
+	return hs
+}
+
+// TestRingDeterministic: identical (ids, vnodes, seed) must build an
+// identical ring — replica placement is replicated state, every router in
+// the cluster must agree on it.
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing(replicaIDs(8), 128, 7)
+	b := buildRing(replicaIDs(8), 128, 7)
+	if len(a.points) != len(b.points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.points), len(b.points))
+	}
+	for i := range a.points {
+		if a.points[i] != b.points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.points[i], b.points[i])
+		}
+	}
+	c := buildRing(replicaIDs(8), 128, 8)
+	same := true
+	for i := range a.points {
+		if a.points[i] != c.points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds built identical rings")
+	}
+}
+
+// TestRingDistribution: across 16 replicas, every replica's share of the
+// scan population stays within 15% of uniform (the ISSUE bound).
+func TestRingDistribution(t *testing.T) {
+	const replicas = 16
+	hs := popHashes(t, 30300)
+	r := buildRing(replicaIDs(replicas), DefaultVnodes, 1)
+	counts := make([]int, replicas)
+	for _, h := range hs {
+		counts[r.owner(h)]++
+	}
+	mean := float64(len(hs)) / replicas
+	for n, got := range counts {
+		dev := (float64(got) - mean) / mean
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("replica %d owns %d keys, %.1f%% off uniform (mean %.1f)", n, got, 100*dev, mean)
+		}
+	}
+}
+
+// TestRingBoundedDisruption: adding a node moves ~K/N keys to the new node
+// and nothing between old nodes; removing a node moves exactly its own
+// keys. This is the property that makes drain/rejoin cheap.
+func TestRingBoundedDisruption(t *testing.T) {
+	hs := popHashes(t, 3030)
+
+	before := buildRing(replicaIDs(8), DefaultVnodes, 1)
+	after := buildRing(replicaIDs(9), DefaultVnodes, 1) // r0..r7 + new r8
+
+	moved, movedElsewhere := 0, 0
+	for _, h := range hs {
+		ob, oa := before.owner(h), after.owner(h)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != 8 {
+			movedElsewhere++
+		}
+	}
+	ideal := len(hs) / 9
+	if movedElsewhere != 0 {
+		t.Errorf("%d keys moved between pre-existing nodes on add (must be 0)", movedElsewhere)
+	}
+	if moved > ideal*3/2 {
+		t.Errorf("add moved %d keys, want <= 1.5x ideal %d", moved, ideal)
+	}
+	if moved < ideal/2 {
+		t.Errorf("add moved only %d keys, want >= 0.5x ideal %d (new node underloaded)", moved, ideal)
+	}
+
+	// Removal: rebuild without r3; only keys r3 owned may change owner.
+	ids := append(replicaIDs(3), "r4", "r5", "r6", "r7")
+	removed := buildRing(ids, DefaultVnodes, 1)
+	idx := map[int]string{0: "r0", 1: "r1", 2: "r2", 3: "r4", 4: "r5", 5: "r6", 6: "r7"}
+	full := map[int]string{0: "r0", 1: "r1", 2: "r2", 3: "r3", 4: "r4", 5: "r5", 6: "r6", 7: "r7"}
+	movedOnRemove := 0
+	for _, h := range hs {
+		was := full[before.owner(h)]
+		now := idx[removed.owner(h)]
+		if was == "r3" {
+			continue // its keys must move somewhere
+		}
+		if was != now {
+			movedOnRemove++
+		}
+	}
+	if movedOnRemove != 0 {
+		t.Errorf("%d keys not owned by the removed node changed owner (must be 0)", movedOnRemove)
+	}
+}
+
+// TestRingSequenceDistinct: the spill walk offers every node exactly once,
+// owner first.
+func TestRingSequenceDistinct(t *testing.T) {
+	r := buildRing(replicaIDs(5), 64, 3)
+	h := keyHash("example.com.", dnswire.TypeA, false)
+	var order []int
+	r.sequence(h, func(n int) bool {
+		order = append(order, n)
+		return true
+	})
+	if len(order) != 5 {
+		t.Fatalf("sequence offered %d nodes, want 5", len(order))
+	}
+	if order[0] != r.owner(h) {
+		t.Fatalf("sequence starts at node %d, owner is %d", order[0], r.owner(h))
+	}
+	seen := map[int]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatalf("node %d offered twice", n)
+		}
+		seen[n] = true
+	}
+}

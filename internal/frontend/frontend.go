@@ -42,6 +42,12 @@ type Config struct {
 	MaxTTL time.Duration
 	// Now is the serving clock (injectable for deterministic tests).
 	Now func() time.Time
+	// Peek, when set, is the cross-replica cache hook (cluster serving): the
+	// flight leader consults it on a miss before recursing (staleOK false)
+	// and again after a failed recursion (staleOK true). A hit is absorbed
+	// into the local cache and served as if local, so one recursion per
+	// question happens cluster-wide — singleflight stays global.
+	Peek func(k PeekKey, staleOK bool) (*SharedEntry, bool)
 }
 
 // withDefaults fills unset fields.
@@ -205,6 +211,14 @@ func (f *Frontend) HandleDNS(ctx context.Context, q *dnswire.Message) (*dnswire.
 // fold the outcome into the cache, degrading to stale or error-cache data
 // on failure.
 func (f *Frontend) fetch(ctx context.Context, k key) *served {
+	// Cross-replica peek: before paying for a recursion (or an overload
+	// shed), ask the cluster whether the owning replica already has a fresh
+	// answer for this question.
+	if f.cfg.Peek != nil {
+		if sv := f.peekFresh(k); sv != nil {
+			return sv
+		}
+	}
 	// Overload shed: never queue behind MaxInflight running recursions.
 	// Stale data still rescues the response when available — shedding is a
 	// resolution failure like any other (RFC 8767 §4).
@@ -248,6 +262,11 @@ func (f *Frontend) fetch(ctx context.Context, k key) *served {
 	}
 	if sv := f.staleFor(k, now); sv != nil {
 		return sv
+	}
+	if f.cfg.Peek != nil {
+		if sv := f.peekStale(k, now); sv != nil {
+			return sv
+		}
 	}
 	return &served{mode: modeFailure, e: f.storeError(k, resp, err, hitDeadline, now)}
 }

@@ -1,0 +1,115 @@
+package frontend
+
+import (
+	"time"
+
+	"github.com/extended-dns-errors/edelab/internal/dnswire"
+)
+
+// PeekKey is the exported cache address used by cross-replica peeking: the
+// same tuple the internal key carries (question + DO + CD), visible to the
+// cluster router without exposing cache internals.
+type PeekKey struct {
+	Name dnswire.Name
+	Type dnswire.Type
+	DO   bool
+	CD   bool
+}
+
+func (pk PeekKey) internal() key {
+	return key{name: pk.Name, qtype: pk.Type, do: pk.DO, cd: pk.CD}
+}
+
+// SharedEntry is an opaque handle to one immutable cache entry plus its key.
+// Because entries are immutable once stored (including their lazily captured
+// pre-packed wire images, published via atomic pointers), a SharedEntry can
+// be handed to another Frontend in the same process and absorbed into its
+// cache without copying: peeking and hot-entry broadcast share the PR 9 wire
+// bytes for free.
+type SharedEntry struct {
+	k key
+	e *entry
+}
+
+// Key returns the cache address the entry is stored under.
+func (se *SharedEntry) Key() PeekKey {
+	return PeekKey{Name: se.k.name, Type: se.k.qtype, DO: se.k.do, CD: se.k.cd}
+}
+
+// IsError reports whether this is an error-cache entry (the EDE 13 source).
+func (se *SharedEntry) IsError() bool { return se.e.isError }
+
+// Fresh reports whether the entry is still inside its TTL at now.
+func (se *SharedEntry) Fresh(now time.Time) bool { return now.Before(se.e.expiresAt) }
+
+// PeekShared returns the entry cached under pk, if any, without triggering
+// any upstream work. ok is false when nothing usable is cached. With staleOK
+// false only fresh entries are returned; with staleOK true an expired
+// non-error entry inside the stale window is returned too (the caller serves
+// it under RFC 8767 rules). Error-cache entries are shared only while fresh:
+// peers re-emit them with the same EDE 13 retry countdown a local hit would
+// produce, which is what keeps drain-time answers byte-identical.
+func (f *Frontend) PeekShared(pk PeekKey, staleOK bool) (*SharedEntry, bool) {
+	k := pk.internal()
+	now := f.cfg.Now()
+	e, fresh, ok := f.cache.get(k, now, f.cfg.StaleWindow)
+	if !ok {
+		return nil, false
+	}
+	if !fresh && (!staleOK || e.isError) {
+		return nil, false
+	}
+	return &SharedEntry{k: k, e: e}, true
+}
+
+// Absorb installs a shared entry from a peer frontend into f's cache. The
+// entry keeps its original storedAt/expiresAt, so TTL decay and EDE 13 retry
+// arithmetic match the peer's (and a single-replica frontend's) answers
+// exactly.
+func (f *Frontend) Absorb(se *SharedEntry) {
+	if se == nil {
+		return
+	}
+	f.cache.put(se.k, se.e)
+}
+
+// peekFresh consults the cross-replica peek hook for a fresh entry before
+// recursing. A hit is absorbed locally and served as if it were a local
+// cache hit — this is what keeps singleflight global across replicas: the
+// flight leader on a non-owner replica rides the owner's cache instead of
+// starting a second recursion.
+func (f *Frontend) peekFresh(k key) *served {
+	se, ok := f.cfg.Peek(PeekKey{Name: k.name, Type: k.qtype, DO: k.do, CD: k.cd}, false)
+	if !ok || se == nil {
+		return nil
+	}
+	f.cache.put(k, se.e)
+	if se.e.isError {
+		return &served{mode: modeCachedError, e: se.e}
+	}
+	return &served{mode: modeFresh, e: se.e}
+}
+
+// peekStale consults the peek hook for a peer entry after a failed
+// recursion, the cross-replica arm of RFC 8767 rescue. A peer entry that
+// turned fresh in the meantime (the owner just refilled it) is served fresh.
+func (f *Frontend) peekStale(k key, now time.Time) *served {
+	se, ok := f.cfg.Peek(PeekKey{Name: k.name, Type: k.qtype, DO: k.do, CD: k.cd}, true)
+	if !ok || se == nil {
+		return nil
+	}
+	f.cache.put(k, se.e)
+	switch {
+	case se.e.isError:
+		if !se.Fresh(now) {
+			return nil
+		}
+		return &served{mode: modeCachedError, e: se.e}
+	case se.Fresh(now):
+		return &served{mode: modeFresh, e: se.e}
+	case se.e.rcode == dnswire.RCodeNXDomain:
+		return &served{mode: modeStaleNX, e: se.e}
+	default:
+		return &served{mode: modeStale, e: se.e}
+	}
+}

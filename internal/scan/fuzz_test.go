@@ -31,11 +31,13 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		TLD:    &TLDAggregate{rows: map[string]*TLDRatio{}},
 		Tranco: &TrancoAggregate{},
 	}).Encode()
+	legacy := encodeLegacyV1(valid)
 	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSnapshot")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	for i, seed := range [][]byte{enc, enc[:len(enc)/2], []byte("EDES"), flipped, empty} {
+	// enc[:len/2] cuts mid-gzip-stream: the compressed+truncated case.
+	for i, seed := range [][]byte{enc, enc[:len(enc)/2], []byte("EDES"), flipped, empty, legacy, legacy[:len(legacy)/2]} {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
 		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed%d", i)), []byte(body), 0o644); err != nil {
 			t.Fatal(err)
@@ -53,7 +55,7 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	valid.Queries, valid.Resolutions = 9999, 3030
 	enc := valid.Encode()
 	f.Add(enc)
-	f.Add(enc[:len(enc)/2])
+	f.Add(enc[:len(enc)/2]) // truncated mid-gzip-stream
 	f.Add([]byte("EDES"))
 	flipped := append([]byte(nil), enc...)
 	flipped[len(flipped)/3] ^= 0xff
@@ -64,6 +66,9 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		Tranco: &TrancoAggregate{},
 	}).Encode()
 	f.Add(empty)
+	legacy := encodeLegacyV1(valid)
+	f.Add(legacy)
+	f.Add(legacy[:len(legacy)/2])
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		s, err := DecodeSnapshot(b)

@@ -1,10 +1,13 @@
 package scan
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"sort"
 
@@ -43,15 +46,26 @@ type Snapshot struct {
 	Tranco *TrancoAggregate
 }
 
-// Wire format v1 (all integers big-endian):
+// Wire format v2 (all integers big-endian):
 //
-//	magic "EDES" | version u16 | shard u32 | shards u32
-//	position u64 | queries u64 | resolutions u64
+//	magic "EDES" | version u16 | gzip(body) | crc32-IEEE u32 over everything preceding it
+//
+// where body is the v1 layout minus framing:
+//
+//	shard u32 | shards u32 | position u64 | queries u64 | resolutions u64
 //	aggregate payload (see appendAggregates)
-//	crc32-IEEE u32 over everything preceding it
+//
+// v1 framed the body uncompressed in the same position; DecodeSnapshot
+// still accepts it so checkpoints written before the version bump resume
+// cleanly. The outer CRC covers the compressed bytes, so corruption is
+// rejected without paying for decompression first.
 const (
-	snapshotMagic   = "EDES"
-	snapshotVersion = 1
+	snapshotMagic         = "EDES"
+	snapshotVersion       = 2
+	snapshotVersionLegacy = 1
+	// maxSnapshotBody caps the decompressed v2 body: a hostile checkpoint
+	// must not be able to balloon a few KiB of gzip into unbounded memory.
+	maxSnapshotBody = 64 << 20
 )
 
 var (
@@ -63,18 +77,36 @@ var (
 	ErrSnapshotVersion = errors.New("scan: unsupported snapshot version")
 )
 
-// Encode serializes the snapshot into the canonical v1 wire format.
+// Encode serializes the snapshot into the canonical v2 wire format. The
+// gzip layer uses a fixed compression level and the stock zero header, so
+// equal bodies still encode to identical bytes.
 func (s *Snapshot) Encode() []byte {
-	buf := make([]byte, 0, 1024)
+	body := s.appendBody(make([]byte, 0, 1024))
+	var zb bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&zb, gzip.BestCompression)
+	if err != nil {
+		panic(err) // fixed valid level
+	}
+	if _, err := zw.Write(body); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic(err)
+	}
+	buf := make([]byte, 0, len(snapshotMagic)+2+zb.Len()+4)
 	buf = append(buf, snapshotMagic...)
 	buf = binary.BigEndian.AppendUint16(buf, snapshotVersion)
+	buf = append(buf, zb.Bytes()...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func (s *Snapshot) appendBody(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Shard))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(s.Shards))
 	buf = binary.BigEndian.AppendUint64(buf, s.Position)
 	buf = binary.BigEndian.AppendUint64(buf, s.Queries)
 	buf = binary.BigEndian.AppendUint64(buf, s.Resolutions)
-	buf = s.appendAggregates(buf)
-	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return s.appendAggregates(buf)
 }
 
 // AggregateBytes returns only the canonical aggregate payload — the portion
@@ -230,10 +262,12 @@ func (r *snapReader) asInt(v uint64) int {
 	return int(v)
 }
 
-// DecodeSnapshot parses a canonical snapshot. The returned TLD and Tranco
-// accumulators are merge-only: they carry counters but no population index,
-// so Add is a no-op on them — a resuming campaign merges the decoded
-// snapshot into fresh accumulators built over its population instead.
+// DecodeSnapshot parses a canonical snapshot, accepting both the current
+// compressed v2 framing and legacy uncompressed v1 checkpoints. The
+// returned TLD and Tranco accumulators are merge-only: they carry counters
+// but no population index, so Add is a no-op on them — a resuming campaign
+// merges the decoded snapshot into fresh accumulators built over its
+// population instead.
 func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if len(b) < len(snapshotMagic)+2+4 {
 		return nil, ErrSnapshotCorrupt
@@ -241,15 +275,37 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if string(b[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, ErrSnapshotCorrupt
 	}
-	if v := binary.BigEndian.Uint16(b[len(snapshotMagic):]); v != snapshotVersion {
-		return nil, fmt.Errorf("%w: got v%d, want v%d", ErrSnapshotVersion, v, snapshotVersion)
+	v := binary.BigEndian.Uint16(b[len(snapshotMagic):])
+	if v != snapshotVersion && v != snapshotVersionLegacy {
+		return nil, fmt.Errorf("%w: got v%d, want v%d or v%d", ErrSnapshotVersion, v, snapshotVersionLegacy, snapshotVersion)
 	}
-	body, trailer := b[:len(b)-4], b[len(b)-4:]
-	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+	framed, trailer := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(framed) != binary.BigEndian.Uint32(trailer) {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrSnapshotCorrupt)
 	}
+	body := framed[len(snapshotMagic)+2:]
+	if v == snapshotVersion {
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxSnapshotBody+1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		if len(raw) > maxSnapshotBody {
+			return nil, fmt.Errorf("%w: body exceeds %d bytes", ErrSnapshotCorrupt, maxSnapshotBody)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		body = raw
+	}
+	return decodeSnapshotBody(body)
+}
 
-	r := &snapReader{b: body, off: len(snapshotMagic) + 2}
+func decodeSnapshotBody(body []byte) (*Snapshot, error) {
+	r := &snapReader{b: body}
 	s := &Snapshot{
 		Shard:  int(r.u32()),
 		Shards: int(r.u32()),

@@ -2,12 +2,25 @@ package scan
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 	"github.com/extended-dns-errors/edelab/internal/population"
 )
+
+// encodeLegacyV1 frames a snapshot in the retired uncompressed v1 format,
+// standing in for checkpoints written before the gzip version bump.
+func encodeLegacyV1(s *Snapshot) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, snapshotVersionLegacy)
+	buf = s.appendBody(buf)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
 
 // snapPop builds a small population for aggregate indexes — no network
 // materialization, just the registry.
@@ -180,5 +193,82 @@ func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
 	vbad[4], vbad[5] = 0x7f, 0xff
 	if _, err := DecodeSnapshot(vbad); !errors.Is(err, ErrSnapshotVersion) {
 		t.Fatalf("bad version: got %v", err)
+	}
+}
+
+func TestSnapshotV2IsCompressed(t *testing.T) {
+	pop := snapPop(t)
+	snap := snapOver(pop, synthResults(pop))
+	enc := snap.Encode()
+	if v := binary.BigEndian.Uint16(enc[4:6]); v != 2 {
+		t.Fatalf("version = %d, want 2", v)
+	}
+	if enc[6] != 0x1f || enc[7] != 0x8b {
+		t.Fatalf("body does not start with the gzip magic: % x", enc[6:8])
+	}
+	if v1 := encodeLegacyV1(snap); len(enc) >= len(v1) {
+		t.Fatalf("v2 (%d bytes) is not smaller than v1 (%d bytes)", len(enc), len(v1))
+	}
+}
+
+// TestSnapshotLegacyV1Decodes pins the compatibility promise: uncompressed
+// checkpoints written before the version bump still decode, carry identical
+// aggregates, and re-encode into the current format.
+func TestSnapshotLegacyV1Decodes(t *testing.T) {
+	pop := snapPop(t)
+	orig := snapOver(pop, synthResults(pop)[:2222])
+	orig.Shard, orig.Shards = 3, 8
+	orig.Queries, orig.Resolutions = 123456, 2222
+
+	dec, err := DecodeSnapshot(encodeLegacyV1(orig))
+	if err != nil {
+		t.Fatalf("decode legacy v1: %v", err)
+	}
+	if dec.Shard != 3 || dec.Shards != 8 || dec.Position != 2222 ||
+		dec.Queries != 123456 || dec.Resolutions != 2222 {
+		t.Fatalf("meta mismatch: %+v", dec)
+	}
+	if !bytes.Equal(dec.AggregateBytes(), orig.AggregateBytes()) {
+		t.Fatal("legacy decode changed the aggregate payload")
+	}
+	// A resumed campaign rewrites the checkpoint: the migrated bytes must be
+	// current-format and round-trip.
+	if !bytes.Equal(dec.Encode(), orig.Encode()) {
+		t.Fatal("legacy snapshot does not migrate to the canonical v2 bytes")
+	}
+
+	// Truncations and bit flips of the legacy framing are still rejected.
+	v1 := encodeLegacyV1(orig)
+	if _, err := DecodeSnapshot(v1[:len(v1)/2]); err == nil {
+		t.Fatal("truncated legacy snapshot decoded successfully")
+	}
+	flip := append([]byte(nil), v1...)
+	flip[len(flip)/2] ^= 0x40
+	if _, err := DecodeSnapshot(flip); err == nil {
+		t.Fatal("corrupted legacy snapshot decoded successfully")
+	}
+}
+
+// TestSnapshotDecompressionCap rejects a checkpoint whose gzip body inflates
+// past maxSnapshotBody instead of allocating it.
+func TestSnapshotDecompressionCap(t *testing.T) {
+	var zb bytes.Buffer
+	zw := gzip.NewWriter(&zb)
+	zeros := make([]byte, 1<<20)
+	for written := 0; written <= maxSnapshotBody; written += len(zeros) {
+		if _, err := zw.Write(zeros); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bomb := make([]byte, 0, zb.Len()+10)
+	bomb = append(bomb, snapshotMagic...)
+	bomb = binary.BigEndian.AppendUint16(bomb, snapshotVersion)
+	bomb = append(bomb, zb.Bytes()...)
+	bomb = binary.BigEndian.AppendUint32(bomb, crc32.ChecksumIEEE(bomb))
+	if _, err := DecodeSnapshot(bomb); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("oversized body: got %v, want ErrSnapshotCorrupt", err)
 	}
 }

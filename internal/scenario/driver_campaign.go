@@ -32,10 +32,10 @@ type campaignDriver struct {
 	// lastQueries/lastFails checkpoint the resolver counters so scan-driven
 	// and pressure-driven observations can interleave without the cumulative
 	// series ever going backwards.
-	cumA, cumF           uint64
-	lastQueries          uint64
-	lastFails            uint64
-	scanned, scanFailed  uint64
+	cumA, cumF          uint64
+	lastQueries         uint64
+	lastFails           uint64
+	scanned, scanFailed uint64
 }
 
 func (d *campaignDriver) setup(ctx context.Context, seed uint64, sc *Scenario, reg *telemetry.Registry) error {

@@ -64,6 +64,8 @@ func newDriver(name string) (driver, error) {
 		return &streamDriver{}, nil
 	case "campaign":
 		return &campaignDriver{}, nil
+	case "cluster":
+		return &clusterDriver{}, nil
 	}
 	return nil, fmt.Errorf("scenario: %w: %q", ErrUnknownDriver, name)
 }

@@ -49,7 +49,7 @@ func perr(line int, sentinel error, format string, args ...any) error {
 }
 
 // Drivers lists the valid driver names.
-var Drivers = []string{"matrix", "frontend", "streamclient", "campaign"}
+var Drivers = []string{"matrix", "frontend", "streamclient", "campaign", "cluster"}
 
 // actionVerbs is the closed set of action verbs across all drivers; drivers
 // reject verbs they do not implement at run time, but an unknown verb is a
@@ -73,6 +73,11 @@ var actionVerbs = map[string]bool{
 	// campaign driver
 	"scan":     true, // scan n=K — resolve the next K population names
 	"pressure": true, // pressure attempts=A failures=F rounds=R — synthetic feed
+	// cluster driver (replica lifecycle + Table 4 sweeps through the router)
+	"sweep":  true, // sweep — walk the selected cases through the router
+	"kill":   true, // kill ID — hard-fail a replica (no drain)
+	"drain":  true, // drain ID — stop routing to a replica, wait for inflight
+	"rejoin": true, // rejoin ID — bring a drained/killed replica back
 }
 
 // ParseFile reads and parses one scenario spec file.
@@ -204,6 +209,11 @@ func parseTopLine(sc *Scenario, ln int, key, val string) error {
 			"stale-ttl":     intField(&sc.Frontend.StaleTTL),
 			"error-ttl":     durField(&sc.Frontend.ErrorTTL),
 			"query-timeout": durField(&sc.Frontend.QueryTimeout),
+		})
+	case "cluster":
+		return parseKVSpec(ln, "cluster", val, map[string]func(string) error{
+			"replicas": intField(&sc.Cluster.Replicas),
+			"hot":      intField(&sc.Cluster.Hot),
 		})
 	case "governor":
 		return parseKVSpec(ln, "governor", val, map[string]func(string) error{

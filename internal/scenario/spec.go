@@ -44,8 +44,10 @@ type Scenario struct {
 	Systems []string
 	// Transport is the resolver transport policy for the run.
 	Transport TransportSpec
-	// Frontend tunes the frontend driver.
+	// Frontend tunes the frontend driver (and each cluster replica).
 	Frontend FrontendSpec
+	// Cluster tunes the cluster driver's replica set.
+	Cluster ClusterSpec
 	// Governor tunes the campaign driver's AIMD governor.
 	Governor GovernorSpec
 	// Population sizes the campaign driver's population slice.
@@ -246,6 +248,30 @@ func (f FrontendSpec) String() string {
 	return strings.Join(parts, " ")
 }
 
+// ClusterSpec tunes the cluster driver ("replicas=3 hot=2"): how many
+// frontend replicas sit behind the consistent-hash router, and the
+// owner-hit threshold past which an entry's wire image is broadcast to
+// every replica (0 keeps the library default).
+type ClusterSpec struct {
+	Replicas int
+	Hot      int
+}
+
+// IsZero reports whether every field is defaulted.
+func (c ClusterSpec) IsZero() bool { return c == ClusterSpec{} }
+
+// String renders the spec canonically, omitting zero fields.
+func (c ClusterSpec) String() string {
+	var parts []string
+	if c.Replicas > 0 {
+		parts = append(parts, "replicas="+strconv.Itoa(c.Replicas))
+	}
+	if c.Hot > 0 {
+		parts = append(parts, "hot="+strconv.Itoa(c.Hot))
+	}
+	return strings.Join(parts, " ")
+}
+
 // GovernorSpec tunes the campaign driver's AIMD governor
 // ("max=32 min=1 high=0.2 low=0.05 step=2 observe-every=50").
 type GovernorSpec struct {
@@ -352,6 +378,9 @@ func (s *Scenario) String() string {
 	}
 	if !s.Frontend.IsZero() {
 		fmt.Fprintf(&b, "frontend: %s\n", s.Frontend)
+	}
+	if !s.Cluster.IsZero() {
+		fmt.Fprintf(&b, "cluster: %s\n", s.Cluster)
 	}
 	if !s.Governor.IsZero() {
 		fmt.Fprintf(&b, "governor: %s\n", s.Governor)

@@ -11,6 +11,13 @@ import (
 	"time"
 )
 
+// Mount attaches an extra handler subtree to the admin plane — the cluster
+// REST endpoints ride along this way without telemetry importing them.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // AdminHandler builds the admin HTTP plane:
 //
 //	/metrics       Prometheus text exposition
@@ -20,8 +27,9 @@ import (
 //	/debug/pprof/  the standard Go profiler endpoints
 //
 // reg and tlog may be nil; the corresponding endpoints then report
-// unavailability instead of panicking.
-func AdminHandler(reg *Registry, tlog *TraceLog, extra func() map[string]any) http.Handler {
+// unavailability instead of panicking. Additional subtrees (e.g. the
+// cluster control plane) mount via the variadic mounts.
+func AdminHandler(reg *Registry, tlog *TraceLog, extra func() map[string]any, mounts ...Mount) http.Handler {
 	started := time.Now()
 	mux := http.NewServeMux()
 
@@ -92,8 +100,18 @@ func AdminHandler(reg *Registry, tlog *TraceLog, extra func() map[string]any) ht
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
+
 	return mux
 }
+
+// adminReadHeaderTimeout bounds how long a connected client may dawdle
+// before sending request headers. The admin plane is reachable from
+// operators' networks; without this a half-open connection pins a
+// goroutine forever.
+const adminReadHeaderTimeout = 5 * time.Second
 
 // ServeAdmin listens on addr and serves h until ctx is cancelled. It returns
 // the bound address (useful with ":0") once the listener is up; serving
@@ -103,7 +121,7 @@ func ServeAdmin(ctx context.Context, addr string, h http.Handler) (net.Addr, err
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: h}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: adminReadHeaderTimeout}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/extended-dns-errors/edelab/internal/dnswire"
 )
@@ -26,6 +27,12 @@ const DoHPath = "/dns-query"
 // dohMaxBodySize bounds POST bodies; a DNS message cannot exceed 64 KiB.
 const dohMaxBodySize = maxUDPPayload
 
+// dohReadHeaderTimeout bounds the wait for request headers on a new
+// connection. This is deliberately its own knob rather than borrowing
+// WriteTimeout: slow-header clients are an accept-path concern and must
+// be cut off even when a deployment relaxes response-write deadlines.
+const dohReadHeaderTimeout = 5 * time.Second
+
 // ServeDoH serves RFC 8484 DNS-over-HTTPS on l until ctx is cancelled.
 // With a nil tlsConf it speaks plain HTTP — useful behind a TLS-terminating
 // proxy and for tests — otherwise HTTPS. Cancellation uses net/http's
@@ -33,7 +40,7 @@ const dohMaxBodySize = maxUDPPayload
 func (s *Server) ServeDoH(ctx context.Context, l net.Listener, tlsConf *tls.Config) error {
 	srv := &http.Server{
 		Handler:           s.DoHHandler(),
-		ReadHeaderTimeout: s.cfg.WriteTimeout,
+		ReadHeaderTimeout: dohReadHeaderTimeout,
 		IdleTimeout:       s.cfg.IdleTimeout,
 		// Requests outlive ctx cancellation until Shutdown's grace period
 		// expires: drain means answering what is in flight, not aborting it.
